@@ -1,0 +1,228 @@
+//! Batched query execution and the QPS / recall@k sweep machinery behind
+//! every evaluation figure.
+//!
+//! Queries run in parallel over the rayon pool (the paper evaluates with 8
+//! search threads). For the hybrid scenario, each query's modelled disk
+//! time is added to the measured compute wall-time, divided by the thread
+//! count — I/O parallelises across query threads exactly like compute.
+
+use rayon::prelude::*;
+use rpq_data::{Dataset, GroundTruth};
+use rpq_graph::SearchScratch;
+use rpq_quant::VectorCompressor;
+
+use crate::disk::DiskIndex;
+use crate::memory::InMemoryIndex;
+
+/// One point on a QPS-vs-recall curve.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// Beam width used.
+    pub ef: usize,
+    /// Recall@k against the supplied ground truth.
+    pub recall: f32,
+    /// Queries per second (all threads).
+    pub qps: f32,
+    /// Mean next-hop selections per query.
+    pub hops: f32,
+    /// Mean modelled disk-I/O time per query, in milliseconds (0 for the
+    /// in-memory scenario).
+    pub io_ms: f32,
+}
+
+/// Sweeps beam widths over an in-memory index.
+pub fn sweep_memory<C: VectorCompressor>(
+    index: &InMemoryIndex<C>,
+    queries: &Dataset,
+    gt: &GroundTruth,
+    k: usize,
+    efs: &[usize],
+) -> Vec<SweepPoint> {
+    efs.iter()
+        .map(|&ef| {
+            let start = std::time::Instant::now();
+            let per_query: Vec<(Vec<u32>, usize)> = (0..queries.len())
+                .into_par_iter()
+                .map_init(SearchScratch::new, |scratch, qi| {
+                    let (res, stats) = index.search(queries.get(qi), ef, k, scratch);
+                    (res.iter().map(|n| n.id).collect(), stats.hops)
+                })
+                .collect();
+            let wall = start.elapsed().as_secs_f32().max(1e-9);
+            let results: Vec<Vec<u32>> = per_query.iter().map(|(ids, _)| ids.clone()).collect();
+            let hops: f32 =
+                per_query.iter().map(|&(_, h)| h as f32).sum::<f32>() / queries.len().max(1) as f32;
+            SweepPoint {
+                ef,
+                recall: gt.recall(&results),
+                qps: queries.len() as f32 / wall,
+                hops,
+                io_ms: 0.0,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps beam widths over a hybrid (disk) index. QPS charges the modelled
+/// I/O time: `total = wall_compute + Σ io_seconds / threads`.
+pub fn sweep_disk<C: VectorCompressor>(
+    index: &DiskIndex<C>,
+    queries: &Dataset,
+    gt: &GroundTruth,
+    k: usize,
+    efs: &[usize],
+) -> Vec<SweepPoint> {
+    let threads = rayon::current_num_threads().max(1) as f32;
+    efs.iter()
+        .map(|&ef| {
+            let start = std::time::Instant::now();
+            let per_query: Vec<(Vec<u32>, usize, f32)> = (0..queries.len())
+                .into_par_iter()
+                .map(|qi| {
+                    let (res, stats) = index.search(queries.get(qi), ef, k);
+                    (res.iter().map(|n| n.id).collect(), stats.hops, stats.io_seconds)
+                })
+                .collect();
+            let wall = start.elapsed().as_secs_f32().max(1e-9);
+            let io_total: f32 = per_query.iter().map(|&(_, _, io)| io).sum();
+            let results: Vec<Vec<u32>> = per_query.iter().map(|(ids, ..)| ids.clone()).collect();
+            let hops: f32 = per_query.iter().map(|&(_, h, _)| h as f32).sum::<f32>()
+                / queries.len().max(1) as f32;
+            let io_ms = io_total * 1e3 / queries.len().max(1) as f32;
+            SweepPoint {
+                ef,
+                recall: gt.recall(&results),
+                qps: queries.len() as f32 / (wall + io_total / threads),
+                hops,
+                io_ms,
+            }
+        })
+        .collect()
+}
+
+/// Interpolates the QPS a method achieves at a target recall (the "QPS at
+/// the same Recall@10 of 95%" readout of Tables 6–7 and Figures 8–11).
+/// Returns `None` if the sweep never reaches the target.
+pub fn qps_at_recall(points: &[SweepPoint], target: f32) -> Option<f32> {
+    let mut sorted: Vec<&SweepPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| a.recall.total_cmp(&b.recall));
+    if sorted.is_empty() || sorted.last().unwrap().recall < target {
+        return None;
+    }
+    if sorted[0].recall >= target {
+        // Already above target at the cheapest setting: best QPS among
+        // qualifying points.
+        return sorted
+            .iter()
+            .filter(|p| p.recall >= target)
+            .map(|p| p.qps)
+            .fold(None, |acc: Option<f32>, q| Some(acc.map_or(q, |a| a.max(q))));
+    }
+    // Linear interpolation between the bracketing points.
+    for w in sorted.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if lo.recall < target && hi.recall >= target {
+            let frac = (target - lo.recall) / (hi.recall - lo.recall).max(1e-9);
+            return Some(lo.qps + frac * (hi.qps - lo.qps));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_data::brute_force_knn;
+    use rpq_data::synth::{SynthConfig, ValueTransform};
+    use rpq_graph::HnswConfig;
+    use rpq_quant::{PqConfig, ProductQuantizer};
+
+    #[test]
+    fn memory_sweep_end_to_end() {
+        let data = SynthConfig {
+            dim: 8,
+            intrinsic_dim: 4,
+            clusters: 4,
+            cluster_std: 0.8,
+            noise_std: 0.05,
+            transform: ValueTransform::Identity,
+        }
+        .generate(320, 1);
+        let (base, queries) = data.split_at(300);
+        let gt = brute_force_knn(&base, &queries, 5);
+        let graph = HnswConfig { m: 8, ef_construction: 40, seed: 0 }.build(&base);
+        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 16, ..Default::default() }, &base);
+        let index = InMemoryIndex::build(pq, &base, graph);
+        let points = sweep_memory(&index, &queries, &gt, 5, &[5, 20, 60]);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.qps > 0.0);
+            assert!((0.0..=1.0).contains(&p.recall));
+            assert!(p.hops > 0.0);
+            assert_eq!(p.io_ms, 0.0, "in-memory sweep must report zero I/O");
+        }
+        // Wider beams cost throughput.
+        assert!(points[0].qps >= points[2].qps * 0.5, "{points:?}");
+    }
+
+    #[test]
+    fn disk_sweep_end_to_end() {
+        use crate::disk::{DiskIndex, DiskIndexConfig};
+        use rpq_graph::VamanaConfig;
+        let data = SynthConfig {
+            dim: 8,
+            intrinsic_dim: 4,
+            clusters: 4,
+            cluster_std: 0.8,
+            noise_std: 0.05,
+            transform: ValueTransform::Identity,
+        }
+        .generate(320, 2);
+        let (base, queries) = data.split_at(300);
+        let gt = brute_force_knn(&base, &queries, 5);
+        let graph = VamanaConfig { r: 8, l: 16, ..Default::default() }.build(&base);
+        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 16, ..Default::default() }, &base);
+        let dir = std::env::temp_dir().join("rpq-harness-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let index =
+            DiskIndex::build(pq, &base, &graph, DiskIndexConfig::new(dir.join("sweep.store")))
+                .unwrap();
+        let points = sweep_disk(&index, &queries, &gt, 5, &[5, 30]);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.io_ms > 0.0, "hybrid sweep must report I/O time");
+        }
+        // Reranked recall should be strong even at modest beams.
+        assert!(points[1].recall > 0.8, "{points:?}");
+    }
+
+    fn pt(recall: f32, qps: f32) -> SweepPoint {
+        SweepPoint { ef: 0, recall, qps, hops: 0.0, io_ms: 0.0 }
+    }
+
+    #[test]
+    fn qps_interpolates_between_points() {
+        let points = vec![pt(0.90, 1000.0), pt(0.96, 400.0)];
+        let q = qps_at_recall(&points, 0.95).unwrap();
+        assert!(q > 400.0 && q < 1000.0, "interpolated {q}");
+        // 5/6 of the way from 0.90 to 0.96.
+        assert!((q - (1000.0 + (400.0 - 1000.0) * (0.05 / 0.06))).abs() < 1.0);
+    }
+
+    #[test]
+    fn qps_none_when_unreachable() {
+        let points = vec![pt(0.5, 100.0), pt(0.8, 50.0)];
+        assert!(qps_at_recall(&points, 0.95).is_none());
+    }
+
+    #[test]
+    fn qps_best_when_all_above_target() {
+        let points = vec![pt(0.97, 800.0), pt(0.99, 500.0)];
+        assert_eq!(qps_at_recall(&points, 0.95), Some(800.0));
+    }
+
+    #[test]
+    fn qps_empty_points() {
+        assert!(qps_at_recall(&[], 0.9).is_none());
+    }
+}

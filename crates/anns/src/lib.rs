@@ -1,0 +1,29 @@
+//! # rpq-anns
+//!
+//! PQ-integrated graph-based ANNS engines for the paper's two deployment
+//! scenarios (§7):
+//!
+//! * [`memory::InMemoryIndex`] — **in-memory scenario**: compact codes and
+//!   the codebook replace the original vectors in RAM next to the PG; the
+//!   search relies on PQ (ADC) distances only, with no reranking.
+//! * [`disk::DiskIndex`] — **SSD+memory hybrid scenario** (DiskANN-style):
+//!   only the compact codes and codebook stay in RAM; the graph adjacency
+//!   and full vectors live in a sector-aligned on-disk node store. Beam
+//!   search ranks candidates by ADC and fetches each expanded node's block
+//!   from disk, then reranks the final candidates with exact distances from
+//!   the fetched vectors.
+//!
+//! [`harness`] runs query batches in parallel and produces the
+//! QPS / recall@k / hops / disk-I/O curves every figure in the paper's §8
+//! is built from. Disk latency is a configurable per-read model added to
+//! measured compute time (DESIGN.md §4 substitution: simulated SSD).
+
+pub mod cache;
+pub mod disk;
+pub mod harness;
+pub mod memory;
+
+pub use cache::{CacheStats, NodeCache};
+pub use disk::{DiskIndex, DiskIndexConfig, DiskSearchStats};
+pub use harness::{qps_at_recall, sweep_disk, sweep_memory, SweepPoint};
+pub use memory::InMemoryIndex;

@@ -1,0 +1,162 @@
+//! The in-memory scenario (paper §7): graph + compact codes + codebook in
+//! RAM, original vectors discarded, routing and result ranking both driven
+//! purely by ADC distances.
+
+use rpq_data::Dataset;
+use rpq_graph::{beam_search, Neighbor, ProximityGraph, SearchScratch, SearchStats};
+use rpq_quant::{CompactCodes, VectorCompressor};
+
+/// An in-memory PQ-integrated index over a proximity graph.
+pub struct InMemoryIndex<C: VectorCompressor> {
+    graph: ProximityGraph,
+    codes: CompactCodes,
+    compressor: C,
+}
+
+impl<C: VectorCompressor> InMemoryIndex<C> {
+    /// Encodes `data` with `compressor` and takes ownership of the graph.
+    /// The original vectors are *not* retained — that is the scenario's
+    /// definition.
+    pub fn build(compressor: C, data: &Dataset, graph: ProximityGraph) -> Self {
+        assert_eq!(graph.len(), data.len(), "graph/dataset size mismatch");
+        assert_eq!(compressor.dim(), data.dim(), "compressor dim mismatch");
+        let codes = compressor.encode_dataset(data);
+        Self { graph, codes, compressor }
+    }
+
+    /// Beam search with ADC-only distances; returns top-`k` ids with their
+    /// estimated distances.
+    pub fn search(
+        &self,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let est = self.compressor.estimator(&self.codes, query);
+        beam_search(&self.graph, &est, ef, k, scratch)
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &ProximityGraph {
+        &self.graph
+    }
+
+    /// The compact codes.
+    pub fn codes(&self) -> &CompactCodes {
+        &self.codes
+    }
+
+    /// The compressor.
+    pub fn compressor(&self) -> &C {
+        &self.compressor
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True when empty (unreachable for built indexes; API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total resident bytes: graph + codes + model — the quantity the
+    /// paper's in-memory scenario budgets (memory constraint `f`·dataset).
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes() + self.codes.memory_bytes() + self.compressor.model_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_data::ground_truth::brute_force_knn;
+    use rpq_data::synth::{SynthConfig, ValueTransform};
+    use rpq_graph::HnswConfig;
+    use rpq_quant::{PqConfig, ProductQuantizer};
+
+    fn setup(n: usize, seed: u64) -> (Dataset, Dataset) {
+        let data = SynthConfig {
+            dim: 16,
+            intrinsic_dim: 6,
+            clusters: 8,
+            cluster_std: 0.8,
+            noise_std: 0.03,
+            transform: ValueTransform::Identity,
+        }
+        .generate(n + 20, seed);
+        let (base, queries) = data.split_at(n);
+        (base, queries)
+    }
+
+    #[test]
+    fn search_finds_reasonable_neighbors() {
+        let (base, queries) = setup(600, 1);
+        let graph = HnswConfig::default().build(&base);
+        let pq = ProductQuantizer::train(
+            &PqConfig { m: 4, k: 64, ..Default::default() },
+            &base,
+        );
+        let index = InMemoryIndex::build(pq, &base, graph);
+        let gt = brute_force_knn(&base, &queries, 10);
+        let mut scratch = SearchScratch::new();
+        let mut results = Vec::new();
+        for q in queries.iter() {
+            let (res, stats) = index.search(q, 60, 10, &mut scratch);
+            assert!(stats.hops > 0);
+            results.push(res.iter().map(|n| n.id).collect::<Vec<_>>());
+        }
+        let recall = gt.recall(&results);
+        assert!(recall > 0.6, "ADC-only recall too low: {recall}");
+    }
+
+    #[test]
+    fn larger_beam_does_not_reduce_recall() {
+        let (base, queries) = setup(500, 2);
+        let graph = HnswConfig::default().build(&base);
+        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 64, ..Default::default() }, &base);
+        let index = InMemoryIndex::build(pq, &base, graph);
+        let gt = brute_force_knn(&base, &queries, 10);
+        let mut scratch = SearchScratch::new();
+        let mut recalls = Vec::new();
+        for ef in [10usize, 40, 120] {
+            let mut results = Vec::new();
+            for q in queries.iter() {
+                let (res, _) = index.search(q, ef, 10, &mut scratch);
+                results.push(res.iter().map(|n| n.id).collect::<Vec<_>>());
+            }
+            recalls.push(gt.recall(&results));
+        }
+        assert!(
+            recalls[2] >= recalls[0] - 0.02,
+            "recall should not degrade with beam width: {recalls:?}"
+        );
+    }
+
+    #[test]
+    fn memory_accounting_is_far_below_raw_vectors() {
+        let (base, _) = setup(500, 3);
+        let graph = HnswConfig::default().build(&base);
+        let graph_bytes = graph.memory_bytes();
+        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 16, ..Default::default() }, &base);
+        let index = InMemoryIndex::build(pq, &base, graph);
+        let raw = base.memory_bytes();
+        let resident = index.memory_bytes() - graph_bytes; // codes + model
+        assert!(
+            resident * 2 < raw,
+            "codes+model ({resident}) should be far below raw vectors ({raw})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_graph_panics() {
+        let (base, _) = setup(100, 4);
+        let (other, _) = setup(50, 5);
+        let graph = HnswConfig::default().build(&other);
+        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 16, ..Default::default() }, &base);
+        let _ = InMemoryIndex::build(pq, &base, graph);
+    }
+}

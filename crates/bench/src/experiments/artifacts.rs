@@ -1,0 +1,269 @@
+//! Table 2 (ranking-term ablation), Figure 4 (valuable-dimension
+//! distribution), Tables 4–5 (training time & model size).
+
+use std::sync::Arc;
+
+use serde::Serialize;
+
+use rpq_anns::InMemoryIndex;
+use rpq_core::{train_rpq, TrainingMode};
+use rpq_data::synth::DatasetKind;
+use rpq_data::Dataset;
+use rpq_graph::{beam_search, ProximityGraph, SearchScratch};
+use rpq_quant::catalyst::{Catalyst, CatalystConfig};
+use rpq_quant::{PqConfig, ProductQuantizer, SdcEstimator, VectorCompressor};
+
+use crate::report::{fmt, write_json, Report};
+use crate::scale::Scale;
+use crate::setup::{build_graph, make_bench, rpq_config, GraphKind};
+
+/// **Table 2**: recall@10 when ranking beam-search candidates with the
+/// truncated Eq. 5 (first two terms — realised as SDC, whose quantized
+/// query discards the angle-term precision) vs the full Eq. 5 (all three
+/// terms — the exact distance comparison, realised with full-precision
+/// distances). The paper's row-2 magnitudes (0.95+) correspond to the
+/// exact comparison; the gap between rows is the information carried by
+/// the third (angle) term.
+pub fn table2(scale: &Scale) -> Report {
+    let kinds =
+        [DatasetKind::Sift, DatasetKind::Deep, DatasetKind::Ukbench, DatasetKind::Gist];
+    let mut report = Report::new(
+        "table2",
+        "Recall@10 with partial vs full ranking terms (paper Table 2)",
+        &scale.label(),
+        &["Ranking", "Sift", "Deep", "Ukbench", "Gist"],
+    );
+    let ef = *scale.efs.last().unwrap();
+    let mut partial_row = vec!["w/ neighbor & routing terms (SDC)".to_string()];
+    let mut full_row = vec!["by Eq. 5, all terms (exact)".to_string()];
+    #[derive(Serialize)]
+    struct Out {
+        dataset: String,
+        sdc_recall: f32,
+        adc_recall: f32,
+    }
+    let mut outs = Vec::new();
+    for kind in kinds {
+        let bench = make_bench(kind, scale.n_base, scale.n_query, scale.k, scale.seed);
+        let graph = build_graph(GraphKind::Hnsw, &bench.base, scale.seed);
+        let pq = ProductQuantizer::train(
+            &PqConfig { m: scale.m, k: scale.kk, seed: scale.seed, ..Default::default() },
+            &bench.base,
+        );
+        let codes = pq.encode_dataset(&bench.base);
+        let mut scratch = SearchScratch::new();
+        let mut run = |full_terms: bool| -> f32 {
+            let mut results = Vec::new();
+            for q in bench.queries.iter() {
+                let res = if full_terms {
+                    // All three Eq. 5 terms = exact distance comparison.
+                    let est = rpq_graph::ExactEstimator::new(&bench.base, q);
+                    beam_search(&graph, &est, ef, scale.k, &mut scratch).0
+                } else {
+                    // First two terms only: symmetric (SDC) estimate.
+                    let est = SdcEstimator::new(pq.codebook(), &codes, q);
+                    beam_search(&graph, &est, ef, scale.k, &mut scratch).0
+                };
+                results.push(res.iter().map(|n| n.id).collect::<Vec<_>>());
+            }
+            bench.gt.recall(&results)
+        };
+        let sdc_recall = run(false);
+        let adc_recall = run(true);
+        partial_row.push(fmt(sdc_recall));
+        full_row.push(fmt(adc_recall));
+        outs.push(Out { dataset: kind.name().into(), sdc_recall, adc_recall });
+    }
+    report.push_row(partial_row);
+    report.push_row(full_row);
+    write_json("table2", &outs);
+    report
+}
+
+/// **Figure 4**: distribution of valuable dimensions (per-chunk variance
+/// share) before vs after adaptive vector decomposition. Uses a
+/// deliberately imbalanced variant of the dataset (exponentially decaying
+/// per-dimension scale) so vertical division starts badly, then reports how
+/// the learned rotation redistributes variance across the M chunks.
+pub fn fig4(scale: &Scale) -> Report {
+    let mut report = Report::new(
+        "fig4",
+        "Per-chunk variance share before/after adaptive decomposition (paper Fig. 4)",
+        &scale.label(),
+        &["Dataset", "Stage", "chunk variance shares (M chunks)", "max/mean imbalance"],
+    );
+    #[derive(Serialize)]
+    struct Out {
+        dataset: String,
+        before: Vec<f32>,
+        after_rpq: Vec<f32>,
+        after_opq: Vec<f32>,
+        imbalance_before: f32,
+        imbalance_after: f32,
+        imbalance_opq: f32,
+    }
+    let mut outs = Vec::new();
+    for kind in [DatasetKind::Sift, DatasetKind::Deep] {
+        let bench = make_bench(kind, scale.n_base.min(3000), 10, scale.k, scale.seed);
+        let imbalanced = imbalance(&bench.base);
+        let graph = Arc::new(build_graph(GraphKind::Vamana, &imbalanced, scale.seed));
+        // The paper's Fig. 4 trains the rotation for 100 iterations; the
+        // rotation only moves through the losses, so this experiment uses a
+        // longer schedule and a hotter LR than the QPS experiments.
+        let mut cfg = rpq_config(TrainingMode::Full, scale, scale.m, scale.kk.min(64));
+        cfg.epochs = (scale.rpq_epochs * 2).max(4);
+        cfg.steps_per_epoch = (scale.rpq_steps * 2).max(25);
+        cfg.lr = 5e-3;
+        let (rpq, _) = train_rpq(&cfg, &imbalanced, &graph);
+        let before = chunk_variance_shares(&imbalanced, scale.m);
+        let rotated = rpq.inner().rotate_dataset(&imbalanced);
+        let after = chunk_variance_shares(&rotated, scale.m);
+        // OPQ's distortion-minimising rotation as the balancing reference.
+        let opq = rpq_quant::OptimizedProductQuantizer::train(
+            &rpq_quant::OpqConfig {
+                pq: rpq_quant::PqConfig { m: scale.m, k: scale.kk.min(64), ..Default::default() },
+                iters: 6,
+            },
+            &imbalanced,
+        );
+        let after_opq = chunk_variance_shares(&opq.rotate_dataset(&imbalanced), scale.m);
+        let ib = imbalance_metric(&before);
+        let ia = imbalance_metric(&after);
+        let io = imbalance_metric(&after_opq);
+        report.push_row(vec![
+            kind.name().into(),
+            "before".into(),
+            before.iter().map(|v| fmt(*v)).collect::<Vec<_>>().join(", "),
+            fmt(ib),
+        ]);
+        report.push_row(vec![
+            kind.name().into(),
+            "after (RPQ rotation)".into(),
+            after.iter().map(|v| fmt(*v)).collect::<Vec<_>>().join(", "),
+            fmt(ia),
+        ]);
+        report.push_row(vec![
+            kind.name().into(),
+            "after (OPQ rotation, reference)".into(),
+            after_opq.iter().map(|v| fmt(*v)).collect::<Vec<_>>().join(", "),
+            fmt(io),
+        ]);
+        outs.push(Out {
+            dataset: kind.name().into(),
+            before,
+            after_rpq: after,
+            after_opq,
+            imbalance_before: ib,
+            imbalance_after: ia,
+            imbalance_opq: io,
+        });
+    }
+    write_json("fig4", &outs);
+    report
+}
+
+/// Applies an exponentially decaying per-dimension scale (the imbalance
+/// vertical division suffers from; same shape as the OPQ unit tests).
+fn imbalance(data: &Dataset) -> Dataset {
+    let d = data.dim();
+    let mut out = Dataset::with_capacity(d, data.len());
+    let mut v = vec![0.0f32; d];
+    for row in data.iter() {
+        for (i, (dst, &src)) in v.iter_mut().zip(row).enumerate() {
+            *dst = src * 3.0 / (1.0 + i as f32).sqrt();
+        }
+        out.push(&v);
+    }
+    out
+}
+
+/// Fraction of total variance carried by each of the M vertical chunks.
+fn chunk_variance_shares(data: &Dataset, m: usize) -> Vec<f32> {
+    let var = data.dimension_variance();
+    let dsub = var.len() / m;
+    let total: f32 = var.iter().sum::<f32>().max(1e-12);
+    (0..m).map(|j| var[j * dsub..(j + 1) * dsub].iter().sum::<f32>() / total).collect()
+}
+
+fn imbalance_metric(shares: &[f32]) -> f32 {
+    let mean = shares.iter().sum::<f32>() / shares.len() as f32;
+    shares.iter().cloned().fold(0.0f32, f32::max) / mean.max(1e-12)
+}
+
+/// **Tables 4 & 5**: training time (s at reproduction scale; the paper
+/// reports hours at 500K-vector scale) and model size (MB) for Catalyst vs
+/// RPQ.
+pub fn tables45(scale: &Scale) -> (Report, Report) {
+    let mut t4 = Report::new(
+        "table4",
+        "Training time, seconds (paper Table 4 reports hours at 500K scale)",
+        &scale.label(),
+        &["Method", "BigANN", "Deep", "Sift", "Gist", "Ukbench"],
+    );
+    let mut t5 = Report::new(
+        "table5",
+        "Model size, MB (paper Table 5)",
+        &scale.label(),
+        &["Method", "BigANN", "Deep", "Sift", "Gist", "Ukbench"],
+    );
+    #[derive(Serialize)]
+    struct Out {
+        dataset: String,
+        catalyst_seconds: f32,
+        rpq_seconds: f32,
+        catalyst_mb: f32,
+        rpq_mb: f32,
+    }
+    let kinds = [
+        DatasetKind::BigAnn,
+        DatasetKind::Deep,
+        DatasetKind::Sift,
+        DatasetKind::Gist,
+        DatasetKind::Ukbench,
+    ];
+    let mut cat_time = vec!["Catalyst".to_string()];
+    let mut rpq_time = vec!["RPQ".to_string()];
+    let mut cat_size = vec!["Catalyst".to_string()];
+    let mut rpq_size = vec!["RPQ".to_string()];
+    let mut outs = Vec::new();
+    for kind in kinds {
+        let bench = make_bench(kind, scale.n_base, 10, scale.k, scale.seed);
+        let graph = Arc::new(build_graph(GraphKind::Vamana, &bench.base, scale.seed));
+        let cat = Catalyst::train(
+            &CatalystConfig {
+                pq: PqConfig { m: scale.m, k: scale.kk, seed: scale.seed, ..Default::default() },
+                seed: scale.seed,
+                ..Default::default()
+            },
+            &bench.base,
+        );
+        let cfg = rpq_config(TrainingMode::Full, scale, scale.m, scale.kk);
+        let (rpq, stats) = train_rpq(&cfg, &bench.base, &graph);
+        let mb = |b: usize| b as f32 / (1024.0 * 1024.0);
+        cat_time.push(fmt(cat.train_seconds()));
+        rpq_time.push(fmt(stats.seconds));
+        cat_size.push(fmt(mb(cat.model_bytes())));
+        rpq_size.push(fmt(mb(rpq.model_bytes())));
+        outs.push(Out {
+            dataset: kind.name().into(),
+            catalyst_seconds: cat.train_seconds(),
+            rpq_seconds: stats.seconds,
+            catalyst_mb: mb(cat.model_bytes()),
+            rpq_mb: mb(rpq.model_bytes()),
+        });
+        // Sanity: the quantizers remain servable (guards against silent
+        // training collapse inside the timing experiment).
+        let idx = InMemoryIndex::build(
+            Box::new(rpq) as Box<dyn VectorCompressor>,
+            &bench.base,
+            ProximityGraph::clone(&graph),
+        );
+        assert!(idx.memory_bytes() > 0);
+    }
+    t4.push_row(cat_time);
+    t4.push_row(rpq_time);
+    t5.push_row(cat_size);
+    t5.push_row(rpq_size);
+    write_json("table4_table5", &outs);
+    (t4, t5)
+}

@@ -1,0 +1,393 @@
+//! The differentiable quantizer (paper §4).
+//!
+//! Two pieces make the discrete PQ pipeline differentiable:
+//!
+//! 1. **Adaptive vector decomposition**: instead of a fixed vertical split,
+//!    vectors are rotated by `R = exp(A)` with `A = W − Wᵀ` built from a
+//!    learnable matrix `W`. Orthogonality is guaranteed by construction
+//!    (`exp(A)ᵀ = exp(−A) = exp(A)⁻¹`), and gradients flow through the
+//!    matrix exponential via its Fréchet adjoint (`rpq-autodiff`).
+//! 2. **Differentiable quantization**: codeword assignment probabilities
+//!    `p(c_jk | R x_j) = softmax(−δ(R x_j, c_jk)/τ_a)` (Eq. 6, with the
+//!    sign corrected — see DESIGN.md §4) are pushed through Gumbel-Softmax
+//!    (Eq. 7), and the "quantized" training-time vector is the
+//!    probability-weighted codeword mixture, which converges to hard
+//!    assignment as the temperature anneals.
+//!
+//! At inference the quantizer is exported as a hard rotation + codebook
+//! ([`DiffQuantizer::export_pq`]) served identically to OPQ.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rpq_autodiff::{Tape, Var};
+use rpq_linalg::{cayley, expm, Matrix};
+use rpq_quant::{Codebook, OptimizedProductQuantizer, PqConfig, ProductQuantizer};
+use rpq_data::Dataset;
+
+/// How the orthonormal rotation is parameterised from the skew matrix
+/// `A = W − Wᵀ`. The paper uses the matrix exponential; the Cayley
+/// transform is the classical cheaper alternative kept for the DESIGN.md
+/// ablation (`bench_rotation`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RotationParam {
+    /// `R = exp(A)` (paper §4), exact vjp via the Fréchet adjoint.
+    #[default]
+    Expm,
+    /// `R = (I − A)⁻¹(I + A)`.
+    Cayley,
+}
+
+/// Mean of a matrix's entries, floored away from zero — the stop-gradient
+/// normaliser that makes the temperatures scale-free.
+pub(crate) fn batch_mean(m: &Matrix) -> f32 {
+    let n = (m.rows * m.cols).max(1) as f32;
+    (m.data.iter().map(|&v| v as f64).sum::<f64>() as f32 / n).max(1e-12)
+}
+
+/// Structural parameters of the differentiable quantizer.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffQuantizerConfig {
+    /// Number of chunks M (must divide the dimension).
+    pub m: usize,
+    /// Codewords per sub-codebook K (≤ 256).
+    pub k: usize,
+    /// Assignment-probability temperature τ_a (Eq. 6), applied to
+    /// batch-mean-normalised distances (scale-free).
+    pub tau_assign: f32,
+    /// Scale of the random initialisation of `W` (0 starts at `R = I`).
+    pub w_init_scale: f32,
+    /// Training vectors used for the k-means codebook initialisation.
+    pub init_train_size: usize,
+    /// Rotation parameterisation (paper: matrix exponential).
+    pub rotation: RotationParam,
+    pub seed: u64,
+}
+
+impl Default for DiffQuantizerConfig {
+    fn default() -> Self {
+        Self { m: 8, k: 256, tau_assign: 0.1, w_init_scale: 0.0, init_train_size: 20_000, rotation: RotationParam::default(), seed: 0 }
+    }
+}
+
+/// Tape handles for one training step.
+pub struct QuantizerVars {
+    /// The learnable pre-skew matrix `W`.
+    pub w: Var,
+    /// One learnable `K × dsub` codebook per chunk.
+    pub codebooks: Vec<Var>,
+    /// `Rᵀ` (as a tape node), the right-multiplier that rotates row
+    /// vectors: `x_rot = x_row · Rᵀ`.
+    pub rot_t: Var,
+}
+
+/// The learnable state of RPQ's quantizer.
+#[derive(Clone)]
+pub struct DiffQuantizer {
+    cfg: DiffQuantizerConfig,
+    /// Learnable `D × D` matrix; the rotation is `exp(W − Wᵀ)`.
+    pub w: Matrix,
+    /// Learnable codebooks, one `K × dsub` matrix per chunk.
+    pub codebooks: Vec<Matrix>,
+    dim: usize,
+    dsub: usize,
+}
+
+impl DiffQuantizer {
+    /// Builds a quantizer from an existing codebook (warm start), with the
+    /// learned rotation at identity (`W = 0`).
+    pub fn from_codebook(cfg: DiffQuantizerConfig, codebook: &Codebook) -> Self {
+        let d = codebook.dim();
+        assert_eq!(cfg.m, codebook.m(), "chunk count mismatch");
+        let dsub = codebook.dsub();
+        let codebooks = (0..cfg.m)
+            .map(|j| Matrix::from_vec(codebook.k(), dsub, codebook.sub_codebook(j).to_vec()))
+            .collect();
+        Self { cfg, w: Matrix::zeros(d, d), codebooks, dim: d, dsub }
+    }
+
+    /// Initialises with `R ≈ I` (or a small random skew) and codebooks from
+    /// a plain PQ fit — the same warm start the paper's end-to-end learning
+    /// refines.
+    pub fn init(cfg: DiffQuantizerConfig, data: &Dataset) -> Self {
+        let d = data.dim();
+        assert!(cfg.m > 0 && d.is_multiple_of(cfg.m), "M = {} must divide the dimension {d}", cfg.m);
+        let dsub = d / cfg.m;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let w = if cfg.w_init_scale > 0.0 {
+            Matrix::random_uniform(d, d, cfg.w_init_scale, &mut rng)
+        } else {
+            Matrix::zeros(d, d)
+        };
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: cfg.m,
+                k: cfg.k,
+                train_size: cfg.init_train_size,
+                seed: cfg.seed,
+                ..Default::default()
+            },
+            data,
+        );
+        let cb = pq.codebook();
+        let k_eff = cb.k();
+        let codebooks = (0..cfg.m)
+            .map(|j| Matrix::from_vec(k_eff, dsub, cb.sub_codebook(j).to_vec()))
+            .collect();
+        Self { cfg, w, codebooks, dim: d, dsub }
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Effective K (may be below `cfg.k` for tiny training sets).
+    pub fn k(&self) -> usize {
+        self.codebooks[0].rows
+    }
+
+    /// Chunk count M.
+    pub fn m(&self) -> usize {
+        self.cfg.m
+    }
+
+    /// Registers the learnable parameters on a tape and computes `Rᵀ` once.
+    pub fn begin(&self, t: &mut Tape) -> QuantizerVars {
+        let w = t.param(self.w.clone());
+        let wt = t.transpose(w);
+        let a = t.sub(w, wt);
+        let r = match self.cfg.rotation {
+            RotationParam::Expm => t.matrix_exp(a),
+            RotationParam::Cayley => t.cayley_map(a),
+        };
+        let rot_t = t.transpose(r);
+        let codebooks = self.codebooks.iter().map(|c| t.param(c.clone())).collect();
+        QuantizerVars { w, codebooks, rot_t }
+    }
+
+    /// Rotates a constant batch on the tape: `X · Rᵀ`.
+    pub fn rotate(&self, t: &mut Tape, vars: &QuantizerVars, x: Var) -> Var {
+        t.matmul(x, vars.rot_t)
+    }
+
+    /// Differentiable quantization of an already-rotated batch: per chunk,
+    /// soft codeword assignment via Gumbel-Softmax and the probability-
+    /// weighted codeword mixture (paper Eq. 6–7). `tau_gumbel` anneals over
+    /// training.
+    pub fn quantize_rotated<R: Rng + ?Sized>(
+        &self,
+        t: &mut Tape,
+        vars: &QuantizerVars,
+        xr: Var,
+        tau_gumbel: f32,
+        rng: &mut R,
+    ) -> Var {
+        let mut parts = Vec::with_capacity(self.cfg.m);
+        for (j, &cj) in vars.codebooks.iter().enumerate() {
+            let xj = t.slice_cols(xr, j * self.dsub, (j + 1) * self.dsub);
+            let d2 = t.pairwise_sq_dist(xj, cj);
+            // Eq. 6 (sign-corrected): p ∝ exp(−δ/τ_a). The raw squared
+            // distances are dataset-scale-dependent (SIFT bytes put them at
+            // ~1e4), so τ_a is applied to distances normalised by the batch
+            // mean (a stop-gradient normaliser): without this the softmax
+            // saturates to a constant one-hot and training gets no signal.
+            let mean = batch_mean(t.value(d2));
+            let logits = t.scale(d2, -1.0 / (self.cfg.tau_assign * mean));
+            let q = t.gumbel_softmax(logits, tau_gumbel, rng);
+            let xqj = t.matmul(q, cj);
+            parts.push(xqj);
+        }
+        t.concat_cols(&parts)
+    }
+
+    /// Convenience: rotate + quantize a raw constant batch.
+    pub fn quantize<R: Rng + ?Sized>(
+        &self,
+        t: &mut Tape,
+        vars: &QuantizerVars,
+        x: Var,
+        tau_gumbel: f32,
+        rng: &mut R,
+    ) -> Var {
+        let xr = self.rotate(t, vars, x);
+        self.quantize_rotated(t, vars, xr, tau_gumbel, rng)
+    }
+
+    /// The current hard rotation of `A = W − Wᵀ` under the configured
+    /// parameterisation.
+    pub fn rotation(&self) -> Matrix {
+        let a = self.w.sub(&self.w.transpose());
+        match self.cfg.rotation {
+            RotationParam::Expm => expm(&a),
+            RotationParam::Cayley => cayley(&a),
+        }
+    }
+
+    /// Freezes the learned codebooks into a serving [`Codebook`].
+    pub fn to_codebook(&self) -> Codebook {
+        let k = self.k();
+        let mut flat = Vec::with_capacity(self.cfg.m * k * self.dsub);
+        for c in &self.codebooks {
+            flat.extend_from_slice(&c.data);
+        }
+        Codebook::new(self.cfg.m, k, self.dsub, flat)
+    }
+
+    /// Exports the learned quantizer for serving: a rotation + hard-argmin
+    /// codebook, packaged in the same machinery OPQ uses (right-multiplying
+    /// rows by `Rᵀ` realises the paper's `R x`).
+    pub fn export_pq(&self, train_seconds: f32) -> OptimizedProductQuantizer {
+        self.export_pq_scaled(train_seconds, 1.0)
+    }
+
+    /// Like [`DiffQuantizer::export_pq`] but multiplies every codeword by
+    /// `scale` — the trainer optimises in a unit-scale normalised space (so
+    /// Adam's step size is meaningful for codebooks regardless of the
+    /// dataset's value range) and rescales at export.
+    pub fn export_pq_scaled(&self, train_seconds: f32, scale: f32) -> OptimizedProductQuantizer {
+        let mut cb = self.to_codebook();
+        if scale != 1.0 {
+            for j in 0..cb.m() {
+                for v in cb.sub_codebook_mut(j) {
+                    *v *= scale;
+                }
+            }
+        }
+        let pq = ProductQuantizer::from_codebook(cb, train_seconds);
+        OptimizedProductQuantizer::from_parts(self.rotation().transpose(), pq, train_seconds)
+    }
+
+    /// Bytes of learnable state (paper Table 5's "model size" for RPQ:
+    /// the skew parameter matrix plus codebooks).
+    pub fn model_bytes(&self) -> usize {
+        (self.w.data.len() + self.codebooks.iter().map(|c| c.data.len()).sum::<usize>()) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_data::synth::{SynthConfig, ValueTransform};
+    use rpq_linalg::is_orthonormal;
+    use rpq_quant::VectorCompressor;
+
+    fn toy(n: usize, dim: usize, seed: u64) -> Dataset {
+        SynthConfig {
+            dim,
+            intrinsic_dim: dim / 2,
+            clusters: 6,
+            cluster_std: 0.8,
+            noise_std: 0.05,
+            transform: ValueTransform::Identity,
+        }
+        .generate(n, seed)
+    }
+
+    fn small_quantizer(data: &Dataset) -> DiffQuantizer {
+        DiffQuantizer::init(
+            DiffQuantizerConfig { m: 4, k: 16, ..Default::default() },
+            data,
+        )
+    }
+
+    #[test]
+    fn rotation_starts_at_identity_and_stays_orthonormal() {
+        let data = toy(200, 16, 1);
+        let mut q = small_quantizer(&data);
+        let r0 = q.rotation();
+        let i = Matrix::identity(16);
+        for (a, b) in r0.data.iter().zip(&i.data) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        // Perturb W arbitrarily: rotation must remain orthonormal.
+        let mut rng = SmallRng::seed_from_u64(7);
+        q.w = Matrix::random_uniform(16, 16, 1.0, &mut rng);
+        assert!(is_orthonormal(&q.rotation(), 1e-3));
+    }
+
+    #[test]
+    fn soft_quantization_approaches_hard_at_low_temperature() {
+        let data = toy(300, 16, 2);
+        let q = DiffQuantizer::init(
+            // Sharp assignment distribution so sampled Gumbel argmax ==
+            // argmin distance with high probability.
+            DiffQuantizerConfig { m: 4, k: 16, tau_assign: 0.02, ..Default::default() },
+            &data,
+        );
+        let mut rng = SmallRng::seed_from_u64(3);
+        let batch = data.to_matrix(0, 8);
+
+        let mut t = Tape::new();
+        let vars = q.begin(&mut t);
+        let x = t.constant(batch.clone());
+        let xq = q.quantize(&mut t, &vars, x, 0.05, &mut rng);
+        let soft = t.value(xq).clone();
+
+        // Hard reference: encode + decode via the exported quantizer.
+        let exported = q.export_pq(0.0);
+        let codes = exported.encode_dataset(&Dataset::from_matrix(&batch));
+        let mut hard = vec![0.0f32; 16];
+        let mut matches = 0;
+        for i in 0..8 {
+            exported.decode_into(codes.code(i), &mut hard);
+            let d = rpq_linalg::distance::sq_l2(soft.row(i), &hard);
+            let scale = rpq_linalg::distance::sq_norm(&hard).max(1.0);
+            if d < 0.05 * scale {
+                matches += 1;
+            }
+        }
+        assert!(matches >= 6, "only {matches}/8 rows match hard assignment");
+    }
+
+    #[test]
+    fn quantize_is_differentiable_wrt_all_params() {
+        let data = toy(200, 8, 3);
+        let q = DiffQuantizer::init(
+            DiffQuantizerConfig { m: 2, k: 8, w_init_scale: 0.1, ..Default::default() },
+            &data,
+        );
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut t = Tape::new();
+        let vars = q.begin(&mut t);
+        let x = t.constant(data.to_matrix(0, 16));
+        let xq = q.quantize(&mut t, &vars, x, 1.0, &mut rng);
+        let sq = t.square(xq);
+        let loss = t.mean_all(sq);
+        let grads = t.backward(loss);
+        assert!(grads.get(vars.w).is_some(), "no gradient for W");
+        let gw = grads.get(vars.w).unwrap();
+        assert!(gw.frob_norm() > 0.0, "zero gradient for W");
+        for (j, &cv) in vars.codebooks.iter().enumerate() {
+            let g = grads.get(cv).unwrap_or_else(|| panic!("no grad for codebook {j}"));
+            assert!(g.frob_norm() > 0.0, "zero gradient for codebook {j}");
+        }
+    }
+
+    #[test]
+    fn export_distances_match_decoded_distances() {
+        let data = toy(300, 16, 5);
+        let q = small_quantizer(&data);
+        let exported = q.export_pq(0.0);
+        let codes = exported.encode_dataset(&data);
+        let query = data.get(9);
+        let lut = exported.lookup_table(query);
+        let est = exported.estimator(&codes, query);
+        for i in (0..300).step_by(41) {
+            assert!((lut.distance(codes.code(i)) - est.distance(i as u32)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn model_bytes_counts_w_and_codebooks() {
+        let data = toy(100, 16, 6);
+        let q = small_quantizer(&data);
+        assert_eq!(q.model_bytes(), (16 * 16 + 4 * 16 * 4) * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide the dimension")]
+    fn bad_m_rejected() {
+        let data = toy(50, 10, 7);
+        let _ = DiffQuantizer::init(DiffQuantizerConfig { m: 3, ..Default::default() }, &data);
+    }
+}

@@ -1,0 +1,212 @@
+//! Flat vector dataset: `n` vectors of dimension `d`, stored contiguously.
+
+use rpq_linalg::Matrix;
+
+/// A dense collection of `f32` vectors with a fixed dimension.
+///
+/// Storage is one contiguous buffer, so iterating vectors streams memory
+/// linearly — the layout every distance-heavy loop in the workspace wants.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset of dimension `dim` (must be non-zero).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self { dim, data: Vec::new() }
+    }
+
+    /// Creates an empty dataset with capacity for `n` vectors.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self { dim, data: Vec::with_capacity(dim * n) }
+    }
+
+    /// Builds a dataset from a flat buffer. Panics if the buffer length is
+    /// not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "flat buffer length {} not a multiple of dim {dim}", data.len());
+        Self { dim, data }
+    }
+
+    /// Builds a dataset whose rows are the rows of `m`.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        Self::from_flat(m.cols, m.data.clone())
+    }
+
+    /// Returns the rows `[r0, r1)` as a matrix (useful for batched autodiff).
+    pub fn to_matrix(&self, r0: usize, r1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.len(), "row range out of bounds");
+        Matrix::from_vec(r1 - r0, self.dim, self.data[r0 * self.dim..r1 * self.dim].to_vec())
+    }
+
+    /// Vector dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True if there are no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The `i`-th vector.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.len(), "index {i} out of bounds ({} vectors)", self.len());
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutable access to the `i`-th vector.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> &mut [f32] {
+        let d = self.dim;
+        &mut self.data[i * d..(i + 1) * d]
+    }
+
+    /// Appends a vector. Panics if the dimension does not match.
+    pub fn push(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "pushed vector has dim {}, dataset has {}", v.len(), self.dim);
+        self.data.extend_from_slice(v);
+    }
+
+    /// Iterates over vectors.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f32]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The raw flat buffer.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consumes into the raw flat buffer.
+    pub fn into_flat(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Copies the selected indices into a new dataset.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::with_capacity(self.dim, indices.len());
+        for &i in indices {
+            out.push(self.get(i));
+        }
+        out
+    }
+
+    /// Splits off the first `n_head` vectors into one dataset and the rest
+    /// into another (a deterministic train/query split helper).
+    pub fn split_at(&self, n_head: usize) -> (Dataset, Dataset) {
+        assert!(n_head <= self.len(), "split point {n_head} beyond {} vectors", self.len());
+        let head = Dataset::from_flat(self.dim, self.data[..n_head * self.dim].to_vec());
+        let tail = Dataset::from_flat(self.dim, self.data[n_head * self.dim..].to_vec());
+        (head, tail)
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Per-dimension variance (the "value of a dimension" proxy the paper's
+    /// Figure 4 visualises via the covariance diagonal).
+    pub fn dimension_variance(&self) -> Vec<f32> {
+        let n = self.len();
+        if n == 0 {
+            return vec![0.0; self.dim];
+        }
+        let mut mean = vec![0.0f64; self.dim];
+        for v in self.iter() {
+            for (m, &x) in mean.iter_mut().zip(v) {
+                *m += x as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut var = vec![0.0f64; self.dim];
+        for v in self.iter() {
+            for ((s, &x), &m) in var.iter_mut().zip(v).zip(&mean) {
+                let d = x as f64 - m;
+                *s += d * d;
+            }
+        }
+        var.iter().map(|&s| (s / n as f64) as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut d = Dataset::new(3);
+        d.push(&[1.0, 2.0, 3.0]);
+        d.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.get(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed vector has dim")]
+    fn push_wrong_dim_panics() {
+        let mut d = Dataset::new(3);
+        d.push(&[1.0]);
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let d = Dataset::from_matrix(&m);
+        assert_eq!(d.to_matrix(0, 3), m);
+        assert_eq!(d.to_matrix(1, 2).data, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn subset_and_split() {
+        let d = Dataset::from_flat(1, vec![0.0, 1.0, 2.0, 3.0]);
+        let s = d.subset(&[3, 1]);
+        assert_eq!(s.as_flat(), &[3.0, 1.0]);
+        let (a, b) = d.split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(0), &[1.0]);
+    }
+
+    #[test]
+    fn dimension_variance_constant_dim_is_zero() {
+        let mut d = Dataset::new(2);
+        d.push(&[5.0, 1.0]);
+        d.push(&[5.0, 3.0]);
+        let v = d.dimension_variance();
+        assert!(v[0].abs() < 1e-9);
+        assert!((v[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_dataset_behaviour() {
+        let d = Dataset::new(4);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.dimension_variance(), vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of dim")]
+    fn from_flat_rejects_ragged() {
+        let _ = Dataset::from_flat(3, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Exact k-nearest-neighbor ground truth and recall@k (paper Eq. 1).
+
+use rayon::prelude::*;
+use rpq_linalg::distance::sq_l2;
+
+use crate::dataset::Dataset;
+
+/// Exact nearest neighbors for a query set: `neighbors[q]` holds the ids of
+/// the `k` base vectors closest to query `q`, ascending by distance.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    pub k: usize,
+    pub neighbors: Vec<Vec<u32>>,
+}
+
+impl GroundTruth {
+    /// Recall@k of `results[q]` (any order, any length ≥ 0) against this
+    /// ground truth, averaged over queries — Eq. 1 of the paper.
+    pub fn recall(&self, results: &[Vec<u32>]) -> f32 {
+        assert_eq!(results.len(), self.neighbors.len(), "query count mismatch");
+        if self.neighbors.is_empty() {
+            return 1.0;
+        }
+        let mut total = 0.0f64;
+        for (res, truth) in results.iter().zip(&self.neighbors) {
+            total += overlap(res, truth) as f64 / self.k as f64;
+        }
+        (total / self.neighbors.len() as f64) as f32
+    }
+}
+
+fn overlap(res: &[u32], truth: &[u32]) -> usize {
+    res.iter().filter(|id| truth.contains(id)).count()
+}
+
+/// Computes exact top-`k` neighbors of every query by parallel brute force.
+///
+/// Panics if `base` is empty or the dimensions disagree; `k` is clamped to
+/// the base size.
+pub fn brute_force_knn(base: &Dataset, queries: &Dataset, k: usize) -> GroundTruth {
+    assert!(!base.is_empty(), "ground truth needs a non-empty base set");
+    assert_eq!(base.dim(), queries.dim(), "dimension mismatch");
+    let k = k.min(base.len());
+    let neighbors: Vec<Vec<u32>> = (0..queries.len())
+        .into_par_iter()
+        .map(|qi| top_k_ids(base, queries.get(qi), k))
+        .collect();
+    GroundTruth { k, neighbors }
+}
+
+/// Exact top-`k` ids for one query vector (ascending distance), via a
+/// bounded max-heap scan.
+pub fn top_k_ids(base: &Dataset, query: &[f32], k: usize) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry(f32, u32);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+        }
+    }
+
+    let k = k.min(base.len()).max(1);
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for (i, v) in base.iter().enumerate() {
+        let d = sq_l2(query, v);
+        if heap.len() < k {
+            heap.push(Entry(d, i as u32));
+        } else if d < heap.peek().unwrap().0 {
+            heap.pop();
+            heap.push(Entry(d, i as u32));
+        }
+    }
+    let mut sorted: Vec<Entry> = heap.into_vec();
+    sorted.sort_by_key(|e| Reverse(std::cmp::Reverse(e.1)));
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    sorted.into_iter().map(|e| e.1).collect()
+}
+
+/// Convenience: recall@k between a single result list and a single truth
+/// list.
+pub fn recall_at_k(result: &[u32], truth: &[u32], k: usize) -> f32 {
+    assert!(k > 0, "k must be positive");
+    let truth = &truth[..k.min(truth.len())];
+    overlap(&result[..k.min(result.len())], truth) as f32 / k as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_dataset(n: usize) -> Dataset {
+        let mut d = Dataset::new(1);
+        for i in 0..n {
+            d.push(&[i as f32]);
+        }
+        d
+    }
+
+    #[test]
+    fn knn_on_a_line() {
+        let base = line_dataset(10);
+        let mut queries = Dataset::new(1);
+        queries.push(&[3.1]);
+        let gt = brute_force_knn(&base, &queries, 3);
+        assert_eq!(gt.neighbors[0], vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn knn_k_clamped_to_base() {
+        let base = line_dataset(2);
+        let mut queries = Dataset::new(1);
+        queries.push(&[0.0]);
+        let gt = brute_force_knn(&base, &queries, 10);
+        assert_eq!(gt.k, 2);
+        assert_eq!(gt.neighbors[0].len(), 2);
+    }
+
+    #[test]
+    fn perfect_recall() {
+        let base = line_dataset(20);
+        let mut queries = Dataset::new(1);
+        queries.push(&[5.0]);
+        queries.push(&[15.0]);
+        let gt = brute_force_knn(&base, &queries, 5);
+        let results: Vec<Vec<u32>> = gt.neighbors.clone();
+        assert_eq!(gt.recall(&results), 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        let gt = GroundTruth { k: 4, neighbors: vec![vec![0, 1, 2, 3]] };
+        let recall = gt.recall(&[vec![0, 1, 9, 8]]);
+        assert!((recall - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recall_ignores_result_order() {
+        let gt = GroundTruth { k: 3, neighbors: vec![vec![5, 6, 7]] };
+        assert_eq!(gt.recall(&[vec![7, 5, 6]]), 1.0);
+    }
+
+    #[test]
+    fn recall_at_k_single() {
+        assert_eq!(recall_at_k(&[1, 2, 3], &[3, 2, 9], 3), 2.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty base")]
+    fn empty_base_panics() {
+        let base = Dataset::new(1);
+        let queries = line_dataset(1);
+        let _ = brute_force_knn(&base, &queries, 1);
+    }
+
+    #[test]
+    fn ties_resolved_deterministically() {
+        let mut base = Dataset::new(1);
+        base.push(&[1.0]);
+        base.push(&[1.0]);
+        base.push(&[1.0]);
+        let q = [1.0f32];
+        let a = top_k_ids(&base, &q, 2);
+        let b = top_k_ids(&base, &q, 2);
+        assert_eq!(a, b);
+    }
+}

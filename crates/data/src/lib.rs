@@ -1,0 +1,26 @@
+//! # rpq-data
+//!
+//! Dataset substrate for the RPQ reproduction:
+//!
+//! * [`Dataset`] — a flat, cache-friendly store of `n` vectors of dimension
+//!   `d` (the representation every other crate consumes),
+//! * [`io`] — readers/writers for the standard `fvecs`/`bvecs`/`ivecs`
+//!   formats so real SIFT/GIST/Deep/BigANN files can be dropped in,
+//! * [`synth`] — synthetic generators matched to the paper's five datasets
+//!   (Table 3) in dimensionality and local intrinsic dimensionality; these
+//!   substitute for the multi-hundred-GB originals (see DESIGN.md §4),
+//! * [`lid`] — the MLE local-intrinsic-dimensionality estimator used to
+//!   validate the generators against Table 3,
+//! * [`ground_truth`] — parallel brute-force exact k-NN and recall@k
+//!   (paper Eq. 1).
+
+pub mod dataset;
+pub mod ground_truth;
+pub mod io;
+pub mod lid;
+pub mod synth;
+
+pub use dataset::Dataset;
+pub use ground_truth::{brute_force_knn, recall_at_k, GroundTruth};
+pub use lid::estimate_lid;
+pub use synth::{DatasetKind, SynthConfig};

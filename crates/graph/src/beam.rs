@@ -1,0 +1,364 @@
+//! Beam-search routing over a proximity graph (paper §3.1), generic over the
+//! distance oracle.
+//!
+//! The same routine serves three masters:
+//! * exact search (graph construction, ground-truth style routing),
+//! * PQ-integrated search (the estimator is an ADC lookup table),
+//! * routing-feature extraction (the [`beam_search_recording`] variant
+//!   mirrors paper Alg. 2 and captures each ranked candidate set `bᵢ`).
+
+use rpq_data::Dataset;
+use rpq_linalg::distance::sq_l2;
+
+use crate::pg::ProximityGraph;
+
+/// A distance oracle from an implicit query to any graph vertex. One value
+/// per `(query, index)` pair — implementations capture the query on
+/// construction (e.g. an ADC lookup table is built once per query).
+pub trait DistanceEstimator {
+    /// Estimated distance from the captured query to vertex `node`.
+    fn distance(&self, node: u32) -> f32;
+}
+
+/// Exact squared-Euclidean distances against the original vectors.
+pub struct ExactEstimator<'a> {
+    data: &'a Dataset,
+    query: &'a [f32],
+}
+
+impl<'a> ExactEstimator<'a> {
+    pub fn new(data: &'a Dataset, query: &'a [f32]) -> Self {
+        assert_eq!(data.dim(), query.len(), "query dimension mismatch");
+        Self { data, query }
+    }
+}
+
+impl DistanceEstimator for ExactEstimator<'_> {
+    #[inline]
+    fn distance(&self, node: u32) -> f32 {
+        sq_l2(self.query, self.data.get(node as usize))
+    }
+}
+
+impl<T: DistanceEstimator + ?Sized> DistanceEstimator for &T {
+    #[inline]
+    fn distance(&self, node: u32) -> f32 {
+        (**self).distance(node)
+    }
+}
+
+impl<T: DistanceEstimator + ?Sized> DistanceEstimator for Box<T> {
+    #[inline]
+    fn distance(&self, node: u32) -> f32 {
+        (**self).distance(node)
+    }
+}
+
+/// A scored vertex.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    pub id: u32,
+    pub dist: f32,
+}
+
+/// Routing statistics: `hops` is the number of next-hop selections (vertex
+/// expansions) and `dist_comps` the number of estimator invocations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    pub hops: usize,
+    pub dist_comps: usize,
+}
+
+/// Reusable per-thread search state: a visited map with O(touched) reset so
+/// repeated queries allocate nothing (perf-book: reuse workhorse
+/// collections).
+#[derive(Default)]
+pub struct SearchScratch {
+    visited: Vec<bool>,
+    touched: Vec<u32>,
+}
+
+impl SearchScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, n: usize) {
+        if self.visited.len() < n {
+            self.visited.resize(n, false);
+        }
+        for &t in &self.touched {
+            self.visited[t as usize] = false;
+        }
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn mark(&mut self, v: u32) -> bool {
+        let slot = &mut self.visited[v as usize];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.touched.push(v);
+            true
+        }
+    }
+}
+
+/// Ordered f32 wrapper for heaps.
+#[derive(PartialEq)]
+struct Scored(f32, u32);
+impl Eq for Scored {}
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Beam search from the graph's entry vertex: returns the top-`k` vertices
+/// by estimated distance (ascending) plus routing statistics. `ef` is the
+/// beam width `h` (clamped up to `k`).
+pub fn beam_search(
+    graph: &ProximityGraph,
+    est: &impl DistanceEstimator,
+    ef: usize,
+    k: usize,
+    scratch: &mut SearchScratch,
+) -> (Vec<Neighbor>, SearchStats) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let ef = ef.max(k).max(1);
+    let mut stats = SearchStats::default();
+    scratch.prepare(graph.len());
+
+    let entry = graph.entry();
+    scratch.mark(entry);
+    let d0 = est.distance(entry);
+    stats.dist_comps += 1;
+
+    // `candidates`: min-heap of frontier vertices; `results`: bounded
+    // max-heap of the best `ef` seen (the global candidate set of Alg. 2).
+    let mut candidates: BinaryHeap<Reverse<Scored>> = BinaryHeap::new();
+    let mut results: BinaryHeap<Scored> = BinaryHeap::with_capacity(ef + 1);
+    candidates.push(Reverse(Scored(d0, entry)));
+    results.push(Scored(d0, entry));
+
+    while let Some(Reverse(Scored(d, v))) = candidates.pop() {
+        let worst = results.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
+        if results.len() == ef && d > worst {
+            break;
+        }
+        stats.hops += 1;
+        for &u in graph.neighbors(v) {
+            if !scratch.mark(u) {
+                continue;
+            }
+            let du = est.distance(u);
+            stats.dist_comps += 1;
+            let worst = results.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
+            if results.len() < ef || du < worst {
+                candidates.push(Reverse(Scored(du, u)));
+                results.push(Scored(du, u));
+                if results.len() > ef {
+                    results.pop();
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Neighbor> =
+        results.into_iter().map(|Scored(d, id)| Neighbor { id, dist: d }).collect();
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    out.truncate(k);
+    (out, stats)
+}
+
+/// One recorded next-hop decision: the ranked global candidate set `bᵢ`
+/// (ascending by estimated distance) at the moment a next hop was selected,
+/// and the vertex the estimator-driven search actually expanded.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// Ranked candidate ids, best first (at most the beam width `h`).
+    pub ranked: Vec<u32>,
+    /// The vertex popped as next hop (always a member of `ranked`).
+    pub chosen: u32,
+}
+
+/// Literal transcription of paper Alg. 2's inner loop: beam search that
+/// records, at every next-hop selection, the ranked candidate set the
+/// decision was made from. Used offline by the routing-feature extractor, so
+/// clarity beats speed (the candidate set is a sorted `Vec`, exactly like
+/// the pseudo-code's `sort` + `resize`).
+pub fn beam_search_recording(
+    graph: &ProximityGraph,
+    est: &impl DistanceEstimator,
+    h: usize,
+    scratch: &mut SearchScratch,
+) -> (Vec<Neighbor>, Vec<Decision>) {
+    let h = h.max(1);
+    scratch.prepare(graph.len());
+    let entry = graph.entry();
+
+    // Global candidate set b, ascending by distance. `expanded` marks
+    // vertices already used as a next hop; `scratch` marks vertices ever
+    // inserted into b (so duplicates are never re-scored).
+    let mut b: Vec<Neighbor> = vec![Neighbor { id: entry, dist: est.distance(entry) }];
+    scratch.mark(entry);
+    let mut expanded: Vec<u32> = Vec::new();
+    let mut decisions = Vec::new();
+
+    // v* ← closest vertex in b not yet expanded (Alg. 2 line 6).
+    while let Some(pos) = b.iter().position(|n| !expanded.contains(&n.id)) {
+        let vstar = b[pos].id;
+        decisions.push(Decision { ranked: b.iter().map(|n| n.id).collect(), chosen: vstar });
+        expanded.push(vstar);
+        for &u in graph.neighbors(vstar) {
+            if !scratch.mark(u) {
+                continue;
+            }
+            b.push(Neighbor { id: u, dist: est.distance(u) });
+        }
+        b.sort_by(|x, y| x.dist.total_cmp(&y.dist).then(x.id.cmp(&y.id)));
+        b.truncate(h);
+    }
+    (b, decisions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_data::Dataset;
+
+    /// A 1-D line dataset with a bidirectional path graph: routing from
+    /// entry 0 must walk monotonically toward the query.
+    fn line_world(n: usize) -> (Dataset, ProximityGraph) {
+        let mut ds = Dataset::new(1);
+        for i in 0..n {
+            ds.push(&[i as f32]);
+        }
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push((i - 1) as u32);
+                }
+                if i + 1 < n {
+                    v.push((i + 1) as u32);
+                }
+                v
+            })
+            .collect();
+        (ds, ProximityGraph::from_adjacency(adj, 0))
+    }
+
+    #[test]
+    fn finds_nearest_on_line() {
+        let (ds, g) = line_world(50);
+        let q = [37.2f32];
+        let est = ExactEstimator::new(&ds, &q);
+        let mut scratch = SearchScratch::new();
+        let (res, stats) = beam_search(&g, &est, 8, 3, &mut scratch);
+        assert_eq!(res[0].id, 37);
+        assert_eq!(res[1].id, 38);
+        assert_eq!(res[2].id, 36);
+        assert!(stats.hops >= 37, "must walk the line, got {} hops", stats.hops);
+        assert!(stats.dist_comps >= stats.hops);
+    }
+
+    #[test]
+    fn k_larger_than_ef_is_honoured() {
+        let (ds, g) = line_world(20);
+        let q = [0.0f32];
+        let est = ExactEstimator::new(&ds, &q);
+        let mut scratch = SearchScratch::new();
+        let (res, _) = beam_search(&g, &est, 1, 5, &mut scratch);
+        assert_eq!(res.len(), 5);
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let (ds, g) = line_world(30);
+        let q = [14.0f32];
+        let est = ExactEstimator::new(&ds, &q);
+        let mut scratch = SearchScratch::new();
+        let (res, _) = beam_search(&g, &est, 10, 10, &mut scratch);
+        for w in res.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries() {
+        let (ds, g) = line_world(40);
+        let mut scratch = SearchScratch::new();
+        for target in [5.0f32, 35.0, 20.0] {
+            let q = [target];
+            let est = ExactEstimator::new(&ds, &q);
+            let (res, _) = beam_search(&g, &est, 8, 1, &mut scratch);
+            assert_eq!(res[0].id, target as u32);
+        }
+    }
+
+    #[test]
+    fn recording_decisions_contain_chosen() {
+        let (ds, g) = line_world(25);
+        let q = [19.0f32];
+        let est = ExactEstimator::new(&ds, &q);
+        let mut scratch = SearchScratch::new();
+        let (res, decisions) = beam_search_recording(&g, &est, 4, &mut scratch);
+        assert!(!decisions.is_empty());
+        for d in &decisions {
+            assert!(d.ranked.contains(&d.chosen));
+            assert!(d.ranked.len() <= 4);
+        }
+        assert_eq!(res[0].id, 19);
+    }
+
+    #[test]
+    fn recording_matches_beam_search_result() {
+        let (ds, g) = line_world(30);
+        let q = [22.4f32];
+        let est = ExactEstimator::new(&ds, &q);
+        let mut s1 = SearchScratch::new();
+        let mut s2 = SearchScratch::new();
+        let (fast, _) = beam_search(&g, &est, 6, 1, &mut s1);
+        let (rec, _) = beam_search_recording(&g, &est, 6, &mut s2);
+        assert_eq!(fast[0].id, rec[0].id);
+    }
+
+    #[test]
+    fn disconnected_component_unreachable() {
+        let mut ds = Dataset::new(1);
+        for i in 0..4 {
+            ds.push(&[i as f32]);
+        }
+        // {0,1} connected, {2,3} separate island; query sits on the island.
+        let adj = vec![vec![1], vec![0], vec![3], vec![2]];
+        let g = ProximityGraph::from_adjacency(adj, 0);
+        let q = [3.0f32];
+        let est = ExactEstimator::new(&ds, &q);
+        let mut scratch = SearchScratch::new();
+        let (res, _) = beam_search(&g, &est, 4, 1, &mut scratch);
+        assert_eq!(res[0].id, 1, "search cannot leave the entry component");
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let mut ds = Dataset::new(1);
+        ds.push(&[0.0]);
+        let g = ProximityGraph::from_adjacency(vec![vec![]], 0);
+        let q = [1.0f32];
+        let est = ExactEstimator::new(&ds, &q);
+        let mut scratch = SearchScratch::new();
+        let (res, stats) = beam_search(&g, &est, 4, 2, &mut scratch);
+        assert_eq!(res.len(), 1);
+        assert_eq!(stats.dist_comps, 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Shared helpers for graph builders: greedy beam search over a mutable
+//! adjacency-list graph, medoid selection, and DiskANN's RobustPrune.
+
+use rpq_data::Dataset;
+use rpq_linalg::distance::sq_l2;
+
+/// A `(distance, id)` pair ascending-ordered by distance.
+pub(crate) type Scored = (f32, u32);
+
+/// Greedy beam search over adjacency lists with exact distances.
+///
+/// Returns `(results, expanded)`: the best `l` vertices found (ascending)
+/// and every vertex that was expanded, with distances — the candidate set
+/// DiskANN's RobustPrune consumes.
+pub(crate) fn search_adj(
+    adj: &[Vec<u32>],
+    data: &Dataset,
+    query: &[f32],
+    entry: u32,
+    l: usize,
+    visited: &mut Vec<bool>,
+    touched: &mut Vec<u32>,
+) -> (Vec<Scored>, Vec<Scored>) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let l = l.max(1);
+    if visited.len() < adj.len() {
+        visited.resize(adj.len(), false);
+    }
+    for &t in touched.iter() {
+        visited[t as usize] = false;
+    }
+    touched.clear();
+
+    #[derive(PartialEq)]
+    struct S(f32, u32);
+    impl Eq for S {}
+    impl PartialOrd for S {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for S {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&o.0).then(self.1.cmp(&o.1))
+        }
+    }
+
+    let d0 = sq_l2(query, data.get(entry as usize));
+    visited[entry as usize] = true;
+    touched.push(entry);
+    let mut frontier: BinaryHeap<Reverse<S>> = BinaryHeap::new();
+    let mut pool: BinaryHeap<S> = BinaryHeap::with_capacity(l + 1);
+    frontier.push(Reverse(S(d0, entry)));
+    pool.push(S(d0, entry));
+    let mut expanded: Vec<Scored> = Vec::new();
+
+    while let Some(Reverse(S(d, v))) = frontier.pop() {
+        let worst = pool.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
+        if pool.len() == l && d > worst {
+            break;
+        }
+        expanded.push((d, v));
+        for &u in &adj[v as usize] {
+            if visited[u as usize] {
+                continue;
+            }
+            visited[u as usize] = true;
+            touched.push(u);
+            let du = sq_l2(query, data.get(u as usize));
+            let worst = pool.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
+            if pool.len() < l || du < worst {
+                frontier.push(Reverse(S(du, u)));
+                pool.push(S(du, u));
+                if pool.len() > l {
+                    pool.pop();
+                }
+            }
+        }
+    }
+
+    let mut results: Vec<Scored> = pool.into_iter().map(|S(d, v)| (d, v)).collect();
+    results.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    (results, expanded)
+}
+
+/// Index of the vector closest to the dataset mean (the medoid both Vamana
+/// and NSG use as their fixed entry vertex).
+pub(crate) fn medoid(data: &Dataset) -> u32 {
+    let n = data.len();
+    assert!(n > 0, "medoid of an empty dataset");
+    let d = data.dim();
+    let mut mean = vec![0.0f64; d];
+    for v in data.iter() {
+        for (m, &x) in mean.iter_mut().zip(v) {
+            *m += x as f64;
+        }
+    }
+    let mean: Vec<f32> = mean.iter().map(|&m| (m / n as f64) as f32).collect();
+    let mut best = (f32::INFINITY, 0u32);
+    for (i, v) in data.iter().enumerate() {
+        let dist = sq_l2(&mean, v);
+        if dist < best.0 {
+            best = (dist, i as u32);
+        }
+    }
+    best.1
+}
+
+/// DiskANN's RobustPrune (Jayaram Subramanya et al., NeurIPS'19): greedily
+/// keeps the closest candidate and discards every other candidate `v` that
+/// is `alpha`-dominated by it (`alpha · δ(p*, v) ≤ δ(p, v)`), until `r`
+/// neighbors are selected.
+///
+/// `candidates` are `(distance to p, id)` pairs; `p` itself and duplicates
+/// are removed here.
+pub(crate) fn robust_prune(
+    p: u32,
+    mut candidates: Vec<Scored>,
+    data: &Dataset,
+    alpha: f32,
+    r: usize,
+) -> Vec<u32> {
+    candidates.retain(|&(_, v)| v != p);
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    candidates.dedup_by_key(|&mut (_, v)| v);
+    let mut selected: Vec<u32> = Vec::with_capacity(r);
+    while let Some(&(_, pstar)) = candidates.first() {
+        selected.push(pstar);
+        if selected.len() >= r {
+            break;
+        }
+        let pstar_vec = data.get(pstar as usize);
+        candidates.retain(|&(d_pv, v)| {
+            if v == pstar {
+                return false;
+            }
+            let d_cv = sq_l2(pstar_vec, data.get(v as usize));
+            alpha * d_cv > d_pv
+        });
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Dataset {
+        let mut d = Dataset::new(1);
+        for i in 0..n {
+            d.push(&[i as f32]);
+        }
+        d
+    }
+
+    #[test]
+    fn medoid_of_line_is_middle() {
+        let d = line(9);
+        assert_eq!(medoid(&d), 4);
+    }
+
+    #[test]
+    fn search_adj_walks_path() {
+        let d = line(20);
+        let adj: Vec<Vec<u32>> = (0..20)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push((i - 1) as u32);
+                }
+                if i + 1 < 20 {
+                    v.push((i + 1) as u32);
+                }
+                v
+            })
+            .collect();
+        let mut visited = Vec::new();
+        let mut touched = Vec::new();
+        let (res, expanded) =
+            search_adj(&adj, &d, &[13.2], 0, 4, &mut visited, &mut touched);
+        assert_eq!(res[0].1, 13);
+        assert!(expanded.len() >= 13);
+    }
+
+    #[test]
+    fn robust_prune_respects_degree_and_diversity() {
+        // Near-duplicates at 1.0/1.1/1.2 on one side and a point at -50 on
+        // the other: pruning with alpha=1 from p=0 keeps the nearest and the
+        // opposite-direction point, drops the dominated near-duplicates
+        // (they are closer to the kept neighbor than to p).
+        let mut data = Dataset::new(1);
+        for x in [0.0f32, 1.0, 1.1, 1.2, -50.0] {
+            data.push(&[x]);
+        }
+        let cands: Vec<Scored> = (1..5u32)
+            .map(|v| (sq_l2(data.get(0), data.get(v as usize)), v))
+            .collect();
+        let sel = robust_prune(0, cands, &data, 1.0, 4);
+        assert!(sel.contains(&1), "closest kept");
+        assert!(sel.contains(&4), "opposite-direction point kept: {sel:?}");
+        assert!(!sel.contains(&2) && !sel.contains(&3), "dominated dropped: {sel:?}");
+    }
+
+    #[test]
+    fn robust_prune_removes_self_and_caps() {
+        let mut data = Dataset::new(1);
+        for x in 0..10 {
+            data.push(&[x as f32]);
+        }
+        let cands: Vec<Scored> = (0..10u32).map(|v| (v as f32 * v as f32, v)).collect();
+        let sel = robust_prune(0, cands, &data, 2.0, 3);
+        assert!(sel.len() <= 3);
+        assert!(!sel.contains(&0));
+    }
+}

@@ -1,0 +1,262 @@
+//! k-NN graph construction: exact brute force (small n) and NN-Descent
+//! (Dong et al., WWW'11) for larger sets. NSG consumes these as its
+//! initialisation graph.
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use rpq_data::Dataset;
+use rpq_linalg::distance::sq_l2;
+
+/// Exact k-NN graph by parallel brute force (excluding self edges).
+pub fn brute_force_knn_graph(data: &Dataset, k: usize) -> Vec<Vec<u32>> {
+    let n = data.len();
+    assert!(n > 0, "empty dataset");
+    let k = k.min(n.saturating_sub(1));
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut scored: Vec<(f32, u32)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (sq_l2(data.get(i), data.get(j)), j as u32))
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            scored.truncate(k);
+            scored.into_iter().map(|(_, j)| j).collect()
+        })
+        .collect()
+}
+
+/// NN-Descent configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NnDescentConfig {
+    /// Neighbors per node in the produced graph.
+    pub k: usize,
+    /// Maximum local-join iterations.
+    pub max_iters: usize,
+    /// Cap on join candidates per node per iteration.
+    pub sample: usize,
+    /// Convergence threshold: stop when updates < `delta * n * k`.
+    pub delta: f32,
+    pub seed: u64,
+}
+
+impl Default for NnDescentConfig {
+    fn default() -> Self {
+        Self { k: 24, max_iters: 12, sample: 40, delta: 0.002, seed: 0 }
+    }
+}
+
+/// Bounded, sorted neighbor list used during NN-Descent.
+struct NeighborList {
+    entries: Vec<(f32, u32)>, // ascending by distance
+    cap: usize,
+}
+
+impl NeighborList {
+    fn worst(&self) -> f32 {
+        if self.entries.len() < self.cap {
+            f32::INFINITY
+        } else {
+            self.entries.last().map(|e| e.0).unwrap_or(f32::INFINITY)
+        }
+    }
+
+    /// Inserts if improving; returns true when the list changed.
+    fn insert(&mut self, d: f32, id: u32) -> bool {
+        if d >= self.worst() || self.entries.iter().any(|e| e.1 == id) {
+            return false;
+        }
+        let pos = self.entries.partition_point(|e| e.0 <= d);
+        self.entries.insert(pos, (d, id));
+        self.entries.truncate(self.cap);
+        true
+    }
+}
+
+/// Approximate k-NN graph by NN-Descent local joins.
+///
+/// Each iteration gathers, for every node, a sampled set of forward and
+/// reverse neighbors, then tries every pair inside that set against each
+/// other's lists. Converges in a handful of iterations on clustered data.
+pub fn nn_descent(data: &Dataset, cfg: NnDescentConfig) -> Vec<Vec<u32>> {
+    let n = data.len();
+    assert!(n > 0, "empty dataset");
+    let k = cfg.k.min(n.saturating_sub(1));
+    if k == 0 {
+        return vec![Vec::new(); n];
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Random initialisation.
+    let lists: Vec<Mutex<NeighborList>> = (0..n)
+        .map(|i| {
+            let mut entries = Vec::with_capacity(k);
+            let mut chosen = std::collections::HashSet::new();
+            while entries.len() < k {
+                let j = rng.gen_range(0..n);
+                if j != i && chosen.insert(j) {
+                    entries.push((sq_l2(data.get(i), data.get(j)), j as u32));
+                }
+            }
+            entries.sort_by(|a, b| a.0.total_cmp(&b.0));
+            Mutex::new(NeighborList { entries, cap: k })
+        })
+        .collect();
+
+    for _iter in 0..cfg.max_iters {
+        // Candidate pools: forward neighbors + reverse neighbors, capped.
+        let mut pools: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, list) in lists.iter().enumerate() {
+            for &(_, j) in &list.lock().entries {
+                pools[i].push(j);
+                pools[j as usize].push(i as u32);
+            }
+        }
+        for pool in &mut pools {
+            pool.sort_unstable();
+            pool.dedup();
+            if pool.len() > cfg.sample {
+                // Deterministic thinning keeps the pass reproducible.
+                let stride = pool.len() as f32 / cfg.sample as f32;
+                let thinned: Vec<u32> =
+                    (0..cfg.sample).map(|t| pool[(t as f32 * stride) as usize]).collect();
+                *pool = thinned;
+            }
+        }
+
+        // Local join: every pair inside a pool proposes each other.
+        let updates: usize = pools
+            .par_iter()
+            .map(|pool| {
+                let mut local_updates = 0usize;
+                for ai in 0..pool.len() {
+                    for bi in (ai + 1)..pool.len() {
+                        let (a, b) = (pool[ai], pool[bi]);
+                        if a == b {
+                            continue;
+                        }
+                        let d = sq_l2(data.get(a as usize), data.get(b as usize));
+                        // Cheap pre-check without the lock is racy but safe:
+                        // insert() rechecks under the lock.
+                        if d < lists[a as usize].lock().worst()
+                            && lists[a as usize].lock().insert(d, b)
+                        {
+                            local_updates += 1;
+                        }
+                        if d < lists[b as usize].lock().worst()
+                            && lists[b as usize].lock().insert(d, a)
+                        {
+                            local_updates += 1;
+                        }
+                    }
+                }
+                local_updates
+            })
+            .sum();
+
+        if (updates as f32) < cfg.delta * (n * k) as f32 {
+            break;
+        }
+    }
+
+    lists
+        .into_iter()
+        .map(|l| l.into_inner().entries.into_iter().map(|(_, j)| j).collect())
+        .collect()
+}
+
+/// Recall of an approximate k-NN graph against the exact one (diagnostic
+/// used by tests and DESIGN.md ablations).
+pub fn knn_graph_recall(approx: &[Vec<u32>], exact: &[Vec<u32>]) -> f32 {
+    assert_eq!(approx.len(), exact.len());
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (a, e) in approx.iter().zip(exact) {
+        total += e.len();
+        hit += e.iter().filter(|id| a.contains(id)).count();
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hit as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_data::synth::{SynthConfig, ValueTransform};
+
+    fn toy_data(n: usize, seed: u64) -> Dataset {
+        SynthConfig {
+            dim: 12,
+            intrinsic_dim: 4,
+            clusters: 6,
+            cluster_std: 0.6,
+            noise_std: 0.02,
+            transform: ValueTransform::Identity,
+        }
+        .generate(n, seed)
+    }
+
+    #[test]
+    fn brute_force_graph_is_exact() {
+        let data = toy_data(60, 1);
+        let g = brute_force_knn_graph(&data, 5);
+        assert_eq!(g.len(), 60);
+        for (i, nbrs) in g.iter().enumerate() {
+            assert_eq!(nbrs.len(), 5);
+            assert!(!nbrs.contains(&(i as u32)), "self edge at {i}");
+            // First neighbor really is the closest other point.
+            let mut best = (f32::INFINITY, 0u32);
+            for j in 0..60 {
+                if j != i {
+                    let d = sq_l2(data.get(i), data.get(j));
+                    if d < best.0 {
+                        best = (d, j as u32);
+                    }
+                }
+            }
+            assert_eq!(nbrs[0], best.1, "node {i}");
+        }
+    }
+
+    #[test]
+    fn brute_force_k_clamped() {
+        let data = toy_data(4, 2);
+        let g = brute_force_knn_graph(&data, 100);
+        assert!(g.iter().all(|l| l.len() == 3));
+    }
+
+    #[test]
+    fn nn_descent_recovers_most_true_neighbors() {
+        let data = toy_data(600, 3);
+        let exact = brute_force_knn_graph(&data, 10);
+        let approx = nn_descent(&data, NnDescentConfig { k: 10, ..Default::default() });
+        let recall = knn_graph_recall(&approx, &exact);
+        assert!(recall > 0.85, "nn-descent recall too low: {recall}");
+    }
+
+    #[test]
+    fn nn_descent_no_self_edges_and_bounded() {
+        let data = toy_data(120, 4);
+        let g = nn_descent(&data, NnDescentConfig { k: 8, ..Default::default() });
+        for (i, l) in g.iter().enumerate() {
+            assert!(l.len() <= 8);
+            assert!(!l.contains(&(i as u32)));
+            let mut dd = l.clone();
+            dd.sort_unstable();
+            dd.dedup();
+            assert_eq!(dd.len(), l.len(), "duplicates at node {i}");
+        }
+    }
+
+    #[test]
+    fn nn_descent_tiny_dataset() {
+        let data = toy_data(3, 5);
+        let g = nn_descent(&data, NnDescentConfig { k: 8, ..Default::default() });
+        assert!(g.iter().all(|l| l.len() == 2));
+    }
+}

@@ -1,0 +1,40 @@
+//! # rpq-graph
+//!
+//! Proximity-graph (PG) substrate for the RPQ reproduction. The paper
+//! integrates its learned quantizer with three mainstream PGs — **Vamana**
+//! (DiskANN), **HNSW** and **NSG** — so all three are implemented here from
+//! scratch, over a common representation:
+//!
+//! * [`ProximityGraph`] — frozen CSR adjacency + entry vertex (paper Def. 2),
+//! * [`beam::beam_search`] — the routing procedure (paper §3.1 / Alg. 2's
+//!   outer loop) generic over a [`beam::DistanceEstimator`], so the same
+//!   code routes with exact distances, PQ/ADC distances, or anything else,
+//! * [`beam::beam_search_recording`] — the instrumented variant that captures
+//!   the ranked candidate set at every next-hop decision, which is exactly
+//!   the paper's *routing features* (Def. 6),
+//! * [`knn`] — brute-force and NN-Descent k-NN graphs (construction seeds
+//!   for NSG),
+//! * [`hnsw`], [`nsg`], [`vamana`] — the three builders.
+//!
+//! Layered HNSW is flattened to its base layer with the hierarchical entry
+//! point retained as the PG entry: the base layer of HNSW is itself a
+//! navigable small-world graph, and the common entry-vertex abstraction is
+//! what the paper's routing definition assumes.
+
+mod construction;
+pub mod beam;
+pub mod hnsw;
+pub mod knn;
+pub mod nsg;
+pub mod pg;
+pub mod vamana;
+
+pub use beam::{
+    beam_search, beam_search_recording, DistanceEstimator, ExactEstimator, Neighbor, SearchScratch,
+    SearchStats,
+};
+pub use hnsw::HnswConfig;
+pub use knn::{brute_force_knn_graph, nn_descent, NnDescentConfig};
+pub use nsg::NsgConfig;
+pub use pg::ProximityGraph;
+pub use vamana::VamanaConfig;

@@ -1,0 +1,229 @@
+//! NSG construction (Fu et al., VLDB'19): monotonic-path graph built by
+//! MRNG-style edge selection over candidate pools gathered from an initial
+//! k-NN graph, navigated from a fixed medoid, with a connectivity repair
+//! pass so every vertex is reachable from the entry.
+
+use rayon::prelude::*;
+use rpq_data::Dataset;
+use rpq_linalg::distance::sq_l2;
+
+use crate::construction::{medoid, search_adj};
+use crate::knn::{brute_force_knn_graph, nn_descent, NnDescentConfig};
+use crate::pg::ProximityGraph;
+
+/// NSG build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NsgConfig {
+    /// Maximum out-degree R.
+    pub r: usize,
+    /// Search pool width L when gathering candidates.
+    pub l: usize,
+    /// Neighbors in the initial k-NN graph.
+    pub knn_k: usize,
+    /// Below this size the k-NN init is exact brute force; above it,
+    /// NN-Descent.
+    pub brute_force_threshold: usize,
+    pub seed: u64,
+}
+
+impl Default for NsgConfig {
+    fn default() -> Self {
+        Self { r: 32, l: 64, knn_k: 32, brute_force_threshold: 4000, seed: 0 }
+    }
+}
+
+impl NsgConfig {
+    /// Builds the NSG over `data`; the entry vertex is the medoid and every
+    /// vertex is guaranteed reachable from it.
+    pub fn build(&self, data: &Dataset) -> ProximityGraph {
+        let n = data.len();
+        assert!(n > 0, "cannot build a graph over an empty dataset");
+        if n == 1 {
+            return ProximityGraph::from_adjacency(vec![Vec::new()], 0);
+        }
+        let knn = if n <= self.brute_force_threshold {
+            brute_force_knn_graph(data, self.knn_k)
+        } else {
+            nn_descent(data, NnDescentConfig { k: self.knn_k, seed: self.seed, ..Default::default() })
+        };
+        self.build_from_knn(data, &knn)
+    }
+
+    /// Builds the NSG from a pre-computed k-NN graph.
+    pub fn build_from_knn(&self, data: &Dataset, knn: &[Vec<u32>]) -> ProximityGraph {
+        let n = data.len();
+        assert_eq!(knn.len(), n, "knn graph size mismatch");
+        let entry = medoid(data);
+        let r = self.r.max(1);
+
+        // Per-node candidate pool: visited set of a search for the node's own
+        // vector on the kNN graph, plus its kNN list; then MRNG selection.
+        let adj: Vec<Vec<u32>> = (0..n as u32)
+            .into_par_iter()
+            .map(|v| {
+                let mut visited = Vec::new();
+                let mut touched = Vec::new();
+                let q = data.get(v as usize);
+                let (results, expanded) =
+                    search_adj(knn, data, q, entry, self.l, &mut visited, &mut touched);
+                let mut pool: Vec<(f32, u32)> = Vec::with_capacity(results.len() + expanded.len() + knn[v as usize].len());
+                pool.extend(results);
+                pool.extend(expanded);
+                for &u in &knn[v as usize] {
+                    pool.push((sq_l2(q, data.get(u as usize)), u));
+                }
+                pool.retain(|&(_, u)| u != v);
+                pool.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                pool.dedup_by_key(|&mut (_, u)| u);
+                mrng_select(v, &pool, data, r)
+            })
+            .collect();
+
+        let mut adj = adj;
+        repair_connectivity(&mut adj, data, knn, entry);
+        ProximityGraph::from_adjacency(adj, entry)
+    }
+}
+
+/// MRNG edge selection: scanning the pool ascending by distance to `v`,
+/// keep candidate `p` unless some already-selected `q` satisfies
+/// `δ(p, q) < δ(p, v)` (i.e. the edge `v→p` is occluded by `v→q→p`).
+fn mrng_select(v: u32, pool: &[(f32, u32)], data: &Dataset, r: usize) -> Vec<u32> {
+    let mut selected: Vec<u32> = Vec::with_capacity(r);
+    for &(d_vp, p) in pool {
+        if selected.len() >= r {
+            break;
+        }
+        let pv = data.get(p as usize);
+        let occluded =
+            selected.iter().any(|&q| sq_l2(pv, data.get(q as usize)) < d_vp);
+        if !occluded {
+            selected.push(p);
+        }
+    }
+    let _ = v;
+    selected
+}
+
+/// Makes every vertex reachable from `entry`: repeatedly BFS, then attach
+/// each unreachable vertex from its nearest reachable k-NN neighbor (or
+/// directly from the entry as a last resort).
+fn repair_connectivity(adj: &mut [Vec<u32>], data: &Dataset, knn: &[Vec<u32>], entry: u32) {
+    let n = adj.len();
+    loop {
+        let mut seen = vec![false; n];
+        let mut stack = vec![entry];
+        seen[entry as usize] = true;
+        while let Some(v) = stack.pop() {
+            for &u in &adj[v as usize] {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        let unreachable: Vec<u32> =
+            (0..n as u32).filter(|&v| !seen[v as usize]).collect();
+        if unreachable.is_empty() {
+            return;
+        }
+        let mut progressed = false;
+        for &u in &unreachable {
+            // Nearest reachable vertex among u's kNN.
+            let mut best: Option<(f32, u32)> = None;
+            for &c in &knn[u as usize] {
+                if seen[c as usize] {
+                    let d = sq_l2(data.get(u as usize), data.get(c as usize));
+                    if best.map(|(bd, _)| d < bd).unwrap_or(true) {
+                        best = Some((d, c));
+                    }
+                }
+            }
+            if let Some((_, c)) = best {
+                if !adj[c as usize].contains(&u) {
+                    adj[c as usize].push(u);
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed {
+            // Last resort: wire the first unreachable vertex from the entry.
+            let u = unreachable[0];
+            if !adj[entry as usize].contains(&u) {
+                adj[entry as usize].push(u);
+            } else {
+                return; // cannot make progress; avoid an infinite loop
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::{beam_search, ExactEstimator, SearchScratch};
+    use rpq_data::ground_truth::brute_force_knn;
+    use rpq_data::synth::{SynthConfig, ValueTransform};
+
+    fn toy(n: usize, seed: u64) -> Dataset {
+        SynthConfig {
+            dim: 16,
+            intrinsic_dim: 6,
+            clusters: 8,
+            cluster_std: 0.7,
+            noise_std: 0.03,
+            transform: ValueTransform::Identity,
+        }
+        .generate(n, seed)
+    }
+
+    #[test]
+    fn degrees_bounded() {
+        let data = toy(300, 1);
+        let g = NsgConfig { r: 10, ..Default::default() }.build(&data);
+        // +slack for connectivity-repair edges
+        assert!(g.max_degree() <= 14, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn full_reachability_guaranteed() {
+        let data = toy(400, 2);
+        let g = NsgConfig::default().build(&data);
+        assert_eq!(g.reachable_from_entry(), 400);
+    }
+
+    #[test]
+    fn nsg_is_navigable() {
+        let data = toy(500, 3);
+        let g = NsgConfig::default().build(&data);
+        let (_, queries) = data.split_at(480);
+        let gt = brute_force_knn(&data, &queries, 10);
+        let mut scratch = SearchScratch::new();
+        let mut results = Vec::new();
+        for q in queries.iter() {
+            let est = ExactEstimator::new(&data, q);
+            let (res, _) = beam_search(&g, &est, 50, 10, &mut scratch);
+            results.push(res.iter().map(|n| n.id).collect::<Vec<_>>());
+        }
+        let recall = gt.recall(&results);
+        assert!(recall > 0.9, "nsg recall too low: {recall}");
+    }
+
+    #[test]
+    fn tiny_datasets() {
+        for n in [1usize, 2, 4] {
+            let data = toy(n, 20 + n as u64);
+            let g = NsgConfig::default().build(&data);
+            assert_eq!(g.len(), n);
+            assert_eq!(g.reachable_from_entry(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = toy(150, 4);
+        let a = NsgConfig::default().build(&data);
+        let b = NsgConfig::default().build(&data);
+        assert_eq!(a, b);
+    }
+}

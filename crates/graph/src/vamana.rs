@@ -1,0 +1,189 @@
+//! Vamana graph construction — the proximity graph inside DiskANN
+//! (Jayaram Subramanya et al., NeurIPS'19), which the paper's hybrid
+//! scenario builds on (§7, §8.1).
+//!
+//! Construction: random R-regular initialisation, then two passes (α = 1,
+//! then α = cfg.alpha) where each point is re-linked by greedy search from
+//! the medoid followed by RobustPrune, with pruned back-edges. Searches
+//! within a batch run in parallel against a snapshot (the standard batched
+//! build); updates apply sequentially.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use rpq_data::Dataset;
+use rpq_linalg::distance::sq_l2;
+
+use crate::construction::{medoid, robust_prune, search_adj, Scored};
+use crate::pg::ProximityGraph;
+
+/// Vamana build parameters (paper/DiskANN defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct VamanaConfig {
+    /// Maximum out-degree R.
+    pub r: usize,
+    /// Construction beam width L.
+    pub l: usize,
+    /// Pruning slack α for the second pass.
+    pub alpha: f32,
+    /// Batch size for the parallel search phase.
+    pub batch: usize,
+    pub seed: u64,
+}
+
+impl Default for VamanaConfig {
+    fn default() -> Self {
+        Self { r: 32, l: 64, alpha: 1.2, batch: 512, seed: 0 }
+    }
+}
+
+impl VamanaConfig {
+    /// Builds the Vamana graph for `data`; the entry vertex is the medoid.
+    pub fn build(&self, data: &Dataset) -> ProximityGraph {
+        let n = data.len();
+        assert!(n > 0, "cannot build a graph over an empty dataset");
+        let r = self.r.max(1).min(n.saturating_sub(1).max(1));
+        if n == 1 {
+            return ProximityGraph::from_adjacency(vec![Vec::new()], 0);
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let entry = medoid(data);
+
+        // Random R-regular initialisation.
+        let mut adj: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let mut nbrs = Vec::with_capacity(r);
+                while nbrs.len() < r {
+                    let j = rng.gen_range(0..n) as u32;
+                    if j as usize != i && !nbrs.contains(&j) {
+                        nbrs.push(j);
+                    }
+                }
+                nbrs
+            })
+            .collect();
+
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for pass_alpha in [1.0f32, self.alpha.max(1.0)] {
+            // Random insertion order per pass.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for chunk in order.chunks(self.batch.max(1)) {
+                // Parallel search phase against the current snapshot.
+                let searched: Vec<(u32, Vec<Scored>)> = chunk
+                    .par_iter()
+                    .map(|&p| {
+                        let mut visited = Vec::new();
+                        let mut touched = Vec::new();
+                        let (_, expanded) = search_adj(
+                            &adj,
+                            data,
+                            data.get(p as usize),
+                            entry,
+                            self.l.max(r),
+                            &mut visited,
+                            &mut touched,
+                        );
+                        (p, expanded)
+                    })
+                    .collect();
+                // Sequential update phase.
+                for (p, mut cands) in searched {
+                    for &u in &adj[p as usize] {
+                        cands.push((sq_l2(data.get(p as usize), data.get(u as usize)), u));
+                    }
+                    let selected = robust_prune(p, cands, data, pass_alpha, r);
+                    adj[p as usize] = selected.clone();
+                    for j in selected {
+                        let list = &mut adj[j as usize];
+                        if !list.contains(&p) {
+                            list.push(p);
+                            if list.len() > r {
+                                let jc: Vec<Scored> = list
+                                    .iter()
+                                    .map(|&u| {
+                                        (sq_l2(data.get(j as usize), data.get(u as usize)), u)
+                                    })
+                                    .collect();
+                                adj[j as usize] = robust_prune(j, jc, data, pass_alpha, r);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ProximityGraph::from_adjacency(adj, entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::{beam_search, ExactEstimator, SearchScratch};
+    use rpq_data::ground_truth::brute_force_knn;
+    use rpq_data::synth::{SynthConfig, ValueTransform};
+
+    fn toy(n: usize, seed: u64) -> Dataset {
+        SynthConfig {
+            dim: 16,
+            intrinsic_dim: 6,
+            clusters: 8,
+            cluster_std: 0.7,
+            noise_std: 0.03,
+            transform: ValueTransform::Identity,
+        }
+        .generate(n, seed)
+    }
+
+    #[test]
+    fn degrees_bounded_by_r() {
+        let data = toy(300, 1);
+        let g = VamanaConfig { r: 12, l: 32, ..Default::default() }.build(&data);
+        assert!(g.max_degree() <= 12, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn graph_is_navigable() {
+        let data = toy(500, 2);
+        let g = VamanaConfig::default().build(&data);
+        let (base_q, queries) = data.split_at(480);
+        // Search for held-out points' neighbors within the built graph.
+        let gt = brute_force_knn(&data, &queries, 10);
+        let mut scratch = SearchScratch::new();
+        let mut results = Vec::new();
+        for q in queries.iter() {
+            let est = ExactEstimator::new(&data, q);
+            let (res, _) = beam_search(&g, &est, 50, 10, &mut scratch);
+            results.push(res.iter().map(|n| n.id).collect::<Vec<_>>());
+        }
+        let recall = gt.recall(&results);
+        assert!(recall > 0.9, "vamana recall too low: {recall}");
+        drop(base_q);
+    }
+
+    #[test]
+    fn reachability_is_high() {
+        let data = toy(400, 3);
+        let g = VamanaConfig::default().build(&data);
+        let reach = g.reachable_from_entry();
+        assert!(reach as f32 > 0.99 * 400.0, "only {reach}/400 reachable");
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let mut data = Dataset::new(2);
+        data.push(&[1.0, 2.0]);
+        let g = VamanaConfig::default().build(&data);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.entry(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = toy(150, 4);
+        let a = VamanaConfig { seed: 9, ..Default::default() }.build(&data);
+        let b = VamanaConfig { seed: 9, ..Default::default() }.build(&data);
+        assert_eq!(a, b);
+    }
+}

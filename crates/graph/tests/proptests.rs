@@ -1,0 +1,109 @@
+//! Property-based tests for the graph substrate: beam-search invariants,
+//! n-hop monotonicity, serialization round-trips on arbitrary graphs.
+
+use proptest::prelude::*;
+use rpq_data::Dataset;
+use rpq_graph::{beam_search, DistanceEstimator, ExactEstimator, ProximityGraph, SearchScratch};
+
+/// Strategy: a random connected-ish directed graph over `n` vertices plus a
+/// matching 2-D dataset.
+fn world(n: usize) -> impl Strategy<Value = (Dataset, ProximityGraph)> {
+    let coords = proptest::collection::vec(-10.0f32..10.0, n * 2);
+    let edges = proptest::collection::vec(proptest::collection::vec(0u32..n as u32, 1..5), n);
+    (coords, edges).prop_map(move |(c, e)| {
+        let data = Dataset::from_flat(2, c);
+        let adj: Vec<Vec<u32>> = e
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut list)| {
+                list.retain(|&u| u as usize != i);
+                list.sort_unstable();
+                list.dedup();
+                // Chain edge keeps the graph connected so searches make
+                // progress regardless of the random part.
+                if i + 1 < n && !list.contains(&((i + 1) as u32)) {
+                    list.push((i + 1) as u32);
+                }
+                list
+            })
+            .collect();
+        (data, ProximityGraph::from_adjacency(adj, 0))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn beam_search_results_sorted_unique_and_bounded(
+        (data, graph) in world(30),
+        q in proptest::collection::vec(-10.0f32..10.0, 2),
+        ef in 1usize..20,
+        k in 1usize..12,
+    ) {
+        let est = ExactEstimator::new(&data, &q);
+        let mut scratch = SearchScratch::new();
+        let (res, stats) = beam_search(&graph, &est, ef, k, &mut scratch);
+        prop_assert!(!res.is_empty());
+        prop_assert!(res.len() <= k);
+        for w in res.windows(2) {
+            prop_assert!(w[0].dist <= w[1].dist, "results not sorted");
+        }
+        let mut ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), res.len(), "duplicate results");
+        prop_assert!(stats.dist_comps >= res.len());
+        // Every reported distance is the true estimator distance.
+        for n in &res {
+            let expect = est.distance(n.id);
+            prop_assert!((n.dist - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn wider_beam_never_misses_the_returned_best(
+        (data, graph) in world(25),
+        q in proptest::collection::vec(-10.0f32..10.0, 2),
+    ) {
+        let est = ExactEstimator::new(&data, &q);
+        let mut scratch = SearchScratch::new();
+        let (narrow, _) = beam_search(&graph, &est, 2, 1, &mut scratch);
+        let (wide, _) = beam_search(&graph, &est, 25, 1, &mut scratch);
+        prop_assert!(wide[0].dist <= narrow[0].dist + 1e-6,
+                     "wider beam found a worse best");
+    }
+
+    #[test]
+    fn n_hop_neighborhoods_grow_monotonically((_, graph) in world(25), v in 0u32..25) {
+        let mut prev = 0usize;
+        for hops in 1..=4 {
+            let hood = graph.n_hop_neighborhood(v, hops);
+            prop_assert!(hood.len() >= prev, "neighborhood shrank at {hops} hops");
+            prop_assert!(!hood.contains(&v));
+            let mut s = hood.clone();
+            s.sort_unstable();
+            s.dedup();
+            prop_assert_eq!(s.len(), hood.len(), "duplicates in neighborhood");
+            prev = hood.len();
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrips((_, graph) in world(20)) {
+        let mut buf = Vec::new();
+        graph.write_to(&mut buf).unwrap();
+        let back = ProximityGraph::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, graph);
+    }
+
+    #[test]
+    fn truncated_serialization_never_panics((_, graph) in world(12), cut in 1usize..40) {
+        let mut buf = Vec::new();
+        graph.write_to(&mut buf).unwrap();
+        let cut = cut.min(buf.len().saturating_sub(1));
+        buf.truncate(buf.len() - cut);
+        // Must return an error, not panic or produce a bogus graph.
+        prop_assert!(ProximityGraph::read_from(&mut buf.as_slice()).is_err());
+    }
+}

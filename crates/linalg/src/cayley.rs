@@ -1,0 +1,186 @@
+//! Cayley transform — the classical alternative parameterisation of the
+//! orthogonal group used by the DESIGN.md ablation against `exp(A)`.
+//!
+//! For skew-symmetric `A`, the Cayley map
+//!
+//! ```text
+//! R = (I − A)⁻¹ (I + A)
+//! ```
+//!
+//! is orthonormal (it covers rotations without −1 eigenvalues). Its
+//! reverse-mode vjp has a clean closed form: with `P = (I − A)⁻¹`, the
+//! forward is `R = P (I + A)` and for upstream gradient `Ḡ`
+//!
+//! ```text
+//! Ā = Pᵀ Ḡ + Pᵀ Ḡ Rᵀ
+//! ```
+//!
+//! because `dR = P dA + P dA A ... = P dA (I + R)` — so
+//! `⟨Ḡ, dR⟩ = ⟨Pᵀ Ḡ (I + R)ᵀ, dA⟩`.
+//!
+//! Compared to `exp(A)` (one 2n×2n matrix exponential per backward), the
+//! Cayley backward is two n×n multiplies plus a cached inverse — cheaper,
+//! at the cost of not covering the full rotation group. `bench_rotation`
+//! in `rpq-bench` measures the trade.
+
+use crate::matrix::Matrix;
+
+/// Computes the Cayley transform `R = (I − A)⁻¹ (I + A)` of a (skew-
+/// symmetric) matrix. Panics if `I − A` is singular (cannot happen for
+/// real skew-symmetric `A`, whose eigenvalues are imaginary).
+pub fn cayley(a: &Matrix) -> Matrix {
+    let (p, r) = cayley_with_inverse(a);
+    let _ = p;
+    r
+}
+
+/// Cayley transform returning also `P = (I − A)⁻¹` for reuse in the
+/// backward pass.
+pub fn cayley_with_inverse(a: &Matrix) -> (Matrix, Matrix) {
+    assert_eq!(a.rows, a.cols, "cayley requires a square matrix");
+    let n = a.rows;
+    let i = Matrix::identity(n);
+    let i_minus_a = i.sub(a);
+    let p = invert(&i_minus_a);
+    let i_plus_a = i.add(a);
+    let r = p.matmul(&i_plus_a);
+    (p, r)
+}
+
+/// Reverse-mode vjp of the Cayley transform: given `Ḡ = ∂loss/∂R`, returns
+/// `∂loss/∂A = Pᵀ Ḡ (I + R)ᵀ` where `P = (I − A)⁻¹`.
+pub fn cayley_vjp(a: &Matrix, g_r: &Matrix) -> Matrix {
+    let (p, r) = cayley_with_inverse(a);
+    let i_plus_r_t = Matrix::identity(r.rows).add(&r).transpose();
+    p.transpose().matmul(g_r).matmul(&i_plus_r_t)
+}
+
+/// Dense inverse via Gauss–Jordan with partial pivoting (f64 internally).
+fn invert(m: &Matrix) -> Matrix {
+    let n = m.rows;
+    assert_eq!(m.rows, m.cols, "invert requires a square matrix");
+    let mut a: Vec<f64> = m.data.iter().map(|&v| v as f64).collect();
+    let mut inv: Vec<f64> = vec![0.0; n * n];
+    for i in 0..n {
+        inv[i * n + i] = 1.0;
+    }
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        let mut best = a[col * n + col].abs();
+        for r in (col + 1)..n {
+            let v = a[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        assert!(best > 1e-300, "singular matrix in cayley inverse");
+        if piv != col {
+            for j in 0..n {
+                a.swap(col * n + j, piv * n + j);
+                inv.swap(col * n + j, piv * n + j);
+            }
+        }
+        let d = a[col * n + col];
+        for j in 0..n {
+            a[col * n + j] /= d;
+            inv[col * n + j] /= d;
+        }
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let f = a[r * n + col];
+            if f == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                a[r * n + j] -= f * a[col * n + j];
+                inv[r * n + j] -= f * inv[col * n + j];
+            }
+        }
+    }
+    Matrix::from_vec(n, n, inv.iter().map(|&v| v as f32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_orthonormal;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn random_skew(n: usize, scale: f32, seed: u64) -> Matrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let w = Matrix::random_uniform(n, n, scale, &mut rng);
+        w.sub(&w.transpose())
+    }
+
+    #[test]
+    fn cayley_of_zero_is_identity() {
+        let r = cayley(&Matrix::zeros(4, 4));
+        let i = Matrix::identity(4);
+        for (x, y) in r.data.iter().zip(&i.data) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cayley_of_skew_is_orthonormal() {
+        for (n, seed) in [(2usize, 1u64), (5, 2), (16, 3), (33, 4)] {
+            let a = random_skew(n, 0.8, seed);
+            let r = cayley(&a);
+            assert!(is_orthonormal(&r, 2e-3), "n={n}");
+        }
+    }
+
+    #[test]
+    fn cayley_2d_matches_tangent_half_angle() {
+        // For A = [[0,-t],[t,0]] the Cayley map is a rotation by 2·atan(t).
+        let t = 0.4f32;
+        let a = Matrix::from_rows(&[&[0.0, -t], &[t, 0.0]]);
+        let r = cayley(&a);
+        let theta = 2.0 * t.atan();
+        assert!((r[(0, 0)] - theta.cos()).abs() < 1e-5);
+        assert!((r[(1, 0)] - theta.sin()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let m = Matrix::random_uniform(6, 6, 1.0, &mut rng).add(&Matrix::identity(6).scale(3.0));
+        let inv = invert(&m);
+        let prod = m.matmul(&inv);
+        let i = Matrix::identity(6);
+        for (x, y) in prod.data.iter().zip(&i.data) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn vjp_matches_finite_difference() {
+        let a = random_skew(5, 0.5, 11);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = Matrix::random_uniform(5, 5, 1.0, &mut rng);
+        let grad = cayley_vjp(&a, &g);
+        // Directional check along random skew directions (the manifold's
+        // tangent space).
+        for seed in 13..16u64 {
+            let e = random_skew(5, 1.0, seed);
+            let h = 1e-3f32;
+            let rp = cayley(&a.add(&e.scale(h)));
+            let rm = cayley(&a.sub(&e.scale(h)));
+            let fd: f32 = rp
+                .sub(&rm)
+                .scale(0.5 / h)
+                .data
+                .iter()
+                .zip(&g.data)
+                .map(|(x, y)| x * y)
+                .sum();
+            let an: f32 = grad.data.iter().zip(&e.data).map(|(x, y)| x * y).sum();
+            assert!((fd - an).abs() < 2e-2 * fd.abs().max(1.0), "fd {fd} vs an {an}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The [`VectorCompressor`] abstraction the ANNS engines consume.
+//!
+//! Every quantizer in the evaluation — PQ, OPQ, Catalyst, L&C, and RPQ (in
+//! `rpq-core`) — compresses a dataset to [`CompactCodes`] and can answer
+//! per-query distance estimates through a [`DistanceEstimator`]. The
+//! estimator is constructed once per query (that is where the ADC lookup
+//! table gets built) and then called once per visited vertex during beam
+//! search.
+
+use rpq_data::Dataset;
+use rpq_graph::DistanceEstimator;
+
+use crate::codebook::{CompactCodes, LookupTable};
+
+/// A trained vector compressor: dataset → compact codes + per-query
+/// estimated distances.
+pub trait VectorCompressor: Send + Sync {
+    /// Display name used in experiment tables ("PQ", "OPQ", "Catalyst", …).
+    fn name(&self) -> String;
+
+    /// Input vector dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Dimensionality of the reconstruction space (differs from `dim` for
+    /// projection-based methods such as Catalyst).
+    fn code_dim(&self) -> usize;
+
+    /// Size of the model in bytes: codebooks plus any rotation/projection
+    /// parameters (paper Table 5).
+    fn model_bytes(&self) -> usize;
+
+    /// Wall-clock seconds spent training this compressor (paper Table 4).
+    fn train_seconds(&self) -> f32;
+
+    /// Compresses a dataset (applying any internal rotation/projection).
+    fn encode_dataset(&self, data: &Dataset) -> CompactCodes;
+
+    /// Reconstructs the quantized vector for one code, in the code space.
+    fn decode_into(&self, code: &[u8], out: &mut [f32]);
+
+    /// Builds the per-query distance estimator over a code set.
+    fn estimator<'a>(
+        &'a self,
+        codes: &'a CompactCodes,
+        query: &'a [f32],
+    ) -> Box<dyn DistanceEstimator + 'a>;
+}
+
+impl<T: VectorCompressor + ?Sized> VectorCompressor for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn code_dim(&self) -> usize {
+        (**self).code_dim()
+    }
+    fn model_bytes(&self) -> usize {
+        (**self).model_bytes()
+    }
+    fn train_seconds(&self) -> f32 {
+        (**self).train_seconds()
+    }
+    fn encode_dataset(&self, data: &Dataset) -> CompactCodes {
+        (**self).encode_dataset(data)
+    }
+    fn decode_into(&self, code: &[u8], out: &mut [f32]) {
+        (**self).decode_into(code, out)
+    }
+    fn estimator<'a>(
+        &'a self,
+        codes: &'a CompactCodes,
+        query: &'a [f32],
+    ) -> Box<dyn DistanceEstimator + 'a> {
+        (**self).estimator(codes, query)
+    }
+}
+
+/// The standard ADC estimator: one lookup-table build per query, then
+/// `M` table reads per distance (paper §3.1; ADC is adopted throughout).
+pub struct AdcEstimator<'a> {
+    lut: LookupTable,
+    codes: &'a CompactCodes,
+}
+
+impl<'a> AdcEstimator<'a> {
+    pub fn new(lut: LookupTable, codes: &'a CompactCodes) -> Self {
+        assert_eq!(lut.m(), codes.m(), "lookup table / codes chunk mismatch");
+        Self { lut, codes }
+    }
+}
+
+impl DistanceEstimator for AdcEstimator<'_> {
+    #[inline]
+    fn distance(&self, node: u32) -> f32 {
+        self.lut.distance(self.codes.code(node as usize))
+    }
+}
+
+/// SDC (symmetric) estimator: the query itself is quantized and distances
+/// come from the code-to-code table. Coarser than ADC (paper §3.1) — used
+/// by the Table 2 reproduction as the "first two terms only" ranking.
+pub struct SdcEstimator<'a> {
+    table: crate::codebook::SdcTable,
+    codes: &'a CompactCodes,
+    query_code: Vec<u8>,
+}
+
+impl<'a> SdcEstimator<'a> {
+    /// Quantizes `query` with `codebook` and prepares the symmetric table.
+    pub fn new(
+        codebook: &crate::codebook::Codebook,
+        codes: &'a CompactCodes,
+        query: &[f32],
+    ) -> Self {
+        let mut query_code = vec![0u8; codebook.m()];
+        codebook.encode_one(query, &mut query_code);
+        Self { table: codebook.sdc_table(), codes, query_code }
+    }
+}
+
+impl DistanceEstimator for SdcEstimator<'_> {
+    #[inline]
+    fn distance(&self, node: u32) -> f32 {
+        self.table.distance(&self.query_code, self.codes.code(node as usize))
+    }
+}

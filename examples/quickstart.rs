@@ -1,0 +1,74 @@
+//! Quickstart: train RPQ end to end and search with it.
+//!
+//! ```text
+//! cargo run -p rpq-bench --release --example quickstart
+//! ```
+//!
+//! Pipeline (paper Fig. 2): generate vectors → build a proximity graph →
+//! train the routing-guided quantizer → build a PQ-integrated in-memory
+//! index → answer queries and report recall@10.
+
+use std::sync::Arc;
+
+use rpq_anns::InMemoryIndex;
+use rpq_core::{train_rpq, RpqTrainerConfig, TrainingMode};
+use rpq_core::quantizer::DiffQuantizerConfig;
+use rpq_data::brute_force_knn;
+use rpq_data::synth::DatasetKind;
+use rpq_graph::{HnswConfig, SearchScratch};
+use rpq_quant::VectorCompressor;
+
+fn main() {
+    // 1. Data: a SIFT-like synthetic set (swap in rpq_data::io::read_fvecs
+    //    for the real thing).
+    let (base, queries) = DatasetKind::Sift.generate(4000, 50, 42);
+    println!("dataset: {} base vectors, {} queries, {} dims", base.len(), queries.len(), base.dim());
+
+    // 2. Proximity graph (HNSW here; NSG / Vamana are drop-in).
+    let graph = Arc::new(HnswConfig::default().build(&base));
+    println!("graph: avg degree {:.1}, entry {}", graph.avg_degree(), graph.entry());
+
+    // 3. Train RPQ: neighborhood + routing features, joint loss.
+    let cfg = RpqTrainerConfig {
+        quantizer: DiffQuantizerConfig { m: 8, k: 64, ..Default::default() },
+        mode: TrainingMode::Full,
+        epochs: 3,
+        steps_per_epoch: 10,
+        ..Default::default()
+    };
+    let (rpq, stats) = train_rpq(&cfg, &base, &graph);
+    println!(
+        "trained {} in {:.1}s ({} triplets, {} routing decisions, loss {:?})",
+        rpq.name(),
+        stats.seconds,
+        stats.triplets_sampled,
+        stats.decisions_sampled,
+        stats.epoch_losses
+    );
+
+    // 4. Build the in-memory PQ-integrated index (codes replace vectors).
+    let raw_bytes = base.memory_bytes();
+    let index = InMemoryIndex::build(rpq, &base, Arc::unwrap_or_clone(graph));
+    println!(
+        "index resident bytes: {} (raw vectors would be {}; codes+model are {:.1}% of raw)",
+        index.memory_bytes(),
+        raw_bytes,
+        100.0 * (index.memory_bytes() - index.graph().memory_bytes()) as f32 / raw_bytes as f32,
+    );
+
+    // 5. Search and score.
+    let gt = brute_force_knn(&base, &queries, 10);
+    let mut scratch = SearchScratch::new();
+    let mut results = Vec::new();
+    let mut hops = 0usize;
+    for q in queries.iter() {
+        let (res, s) = index.search(q, 80, 10, &mut scratch);
+        hops += s.hops;
+        results.push(res.iter().map(|n| n.id).collect::<Vec<_>>());
+    }
+    println!(
+        "recall@10 = {:.3} at ef=80 ({:.1} hops/query)",
+        gt.recall(&results),
+        hops as f32 / queries.len() as f32
+    );
+}
