@@ -115,7 +115,10 @@ impl NodeCache {
     /// Snapshot of the hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         use std::sync::atomic::Ordering;
-        CacheStats { hits: self.hits.load(Ordering::Relaxed), misses: self.misses.load(Ordering::Relaxed) }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -135,7 +138,12 @@ mod tests {
             transform: ValueTransform::Identity,
         }
         .generate(n, 5);
-        let graph = VamanaConfig { r: 8, l: 16, ..Default::default() }.build(&data);
+        let graph = VamanaConfig {
+            r: 8,
+            l: 16,
+            ..Default::default()
+        }
+        .build(&data);
         (data, graph)
     }
 

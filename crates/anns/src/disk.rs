@@ -139,11 +139,14 @@ impl DiskStore {
             f.seek(SeekFrom::Start(off))?;
             f.read_exact(buf)?;
         }
-        self.reads.fetch_add(self.sectors_per_block as u64, Ordering::Relaxed);
+        self.reads
+            .fetch_add(self.sectors_per_block as u64, Ordering::Relaxed);
         let deg = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
         let mut nbrs = Vec::with_capacity(deg);
         for s in 0..deg.min(self.max_degree) {
-            nbrs.push(u32::from_le_bytes(buf[4 + s * 4..8 + s * 4].try_into().unwrap()));
+            nbrs.push(u32::from_le_bytes(
+                buf[4 + s * 4..8 + s * 4].try_into().unwrap(),
+            ));
         }
         let voff = 4 + 4 * self.max_degree;
         for (s, v) in vec_out.iter_mut().enumerate().take(self.dim) {
@@ -181,7 +184,14 @@ impl<C: VectorCompressor> DiskIndex<C> {
         let store = DiskStore::build(&cfg.path, data, graph, cfg.sector_bytes.max(512))?;
         let codes = compressor.encode_dataset(data);
         let cache = (cfg.cache_nodes > 0).then(|| NodeCache::warm(graph, data, cfg.cache_nodes));
-        Ok(Self { store, compressor, codes, entry: graph.entry(), cache, cfg })
+        Ok(Self {
+            store,
+            compressor,
+            codes,
+            entry: graph.entry(),
+            cache,
+            cfg,
+        })
     }
 
     /// Number of indexed vectors.
@@ -199,12 +209,19 @@ impl<C: VectorCompressor> DiskIndex<C> {
     pub fn resident_bytes(&self) -> usize {
         self.codes.memory_bytes()
             + self.compressor.model_bytes()
-            + self.cache.as_ref().map(NodeCache::memory_bytes).unwrap_or(0)
+            + self
+                .cache
+                .as_ref()
+                .map(NodeCache::memory_bytes)
+                .unwrap_or(0)
     }
 
     /// Cache hit/miss counters (zeros when the cache is disabled).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.as_ref().map(NodeCache::stats).unwrap_or_default()
+        self.cache
+            .as_ref()
+            .map(NodeCache::stats)
+            .unwrap_or_default()
     }
 
     /// Bytes of the on-disk store (graph + full vectors) — the denominator
@@ -304,8 +321,10 @@ impl<C: VectorCompressor> DiskIndex<C> {
                     if let Some((_, vec)) = self.cache.as_ref().and_then(|c| c.get(v)) {
                         return sq_l2(query, vec);
                     }
-                    let _ =
-                        self.store.read_node(v, &mut block, &mut vec_buf).expect("rerank read");
+                    let _ = self
+                        .store
+                        .read_node(v, &mut block, &mut vec_buf)
+                        .expect("rerank read");
                     sq_l2(query, &vec_buf)
                 });
                 Neighbor { id: v, dist }
@@ -347,10 +366,26 @@ mod tests {
         dir.join(format!("{tag}.store"))
     }
 
-    fn build_index(n: usize, seed: u64, tag: &str) -> (DiskIndex<ProductQuantizer>, Dataset, Dataset) {
+    fn build_index(
+        n: usize,
+        seed: u64,
+        tag: &str,
+    ) -> (DiskIndex<ProductQuantizer>, Dataset, Dataset) {
         let (base, queries) = setup(n, seed);
-        let graph = VamanaConfig { r: 8, l: 32, ..Default::default() }.build(&base);
-        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 64, ..Default::default() }, &base);
+        let graph = VamanaConfig {
+            r: 8,
+            l: 32,
+            ..Default::default()
+        }
+        .build(&base);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 64,
+                ..Default::default()
+            },
+            &base,
+        );
         let index =
             DiskIndex::build(pq, &base, &graph, DiskIndexConfig::new(tmp_path(tag))).unwrap();
         (index, base, queries)
@@ -411,8 +446,20 @@ mod tests {
     #[test]
     fn node_cache_cuts_io_without_changing_results() {
         let (base, queries) = setup(500, 6);
-        let graph = VamanaConfig { r: 8, l: 32, ..Default::default() }.build(&base);
-        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 64, ..Default::default() }, &base);
+        let graph = VamanaConfig {
+            r: 8,
+            l: 32,
+            ..Default::default()
+        }
+        .build(&base);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 64,
+                ..Default::default()
+            },
+            &base,
+        );
         let plain = DiskIndex::build(
             pq.clone(),
             &base,
@@ -424,7 +471,10 @@ mod tests {
             pq,
             &base,
             &graph,
-            DiskIndexConfig { cache_nodes: 200, ..DiskIndexConfig::new(tmp_path("cache")) },
+            DiskIndexConfig {
+                cache_nodes: 200,
+                ..DiskIndexConfig::new(tmp_path("cache"))
+            },
         )
         .unwrap();
         let q = queries.get(0);
@@ -447,7 +497,12 @@ mod tests {
     #[test]
     fn store_roundtrips_vectors_and_adjacency() {
         let (base, _) = setup(100, 5);
-        let graph = VamanaConfig { r: 6, l: 16, ..Default::default() }.build(&base);
+        let graph = VamanaConfig {
+            r: 6,
+            l: 16,
+            ..Default::default()
+        }
+        .build(&base);
         let store = DiskStore::build(&tmp_path("roundtrip"), &base, &graph, 4096).unwrap();
         let mut buf = Vec::new();
         let mut v = vec![0.0f32; base.dim()];

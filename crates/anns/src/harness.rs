@@ -80,7 +80,11 @@ pub fn sweep_disk<C: VectorCompressor>(
                 .into_par_iter()
                 .map(|qi| {
                     let (res, stats) = index.search(queries.get(qi), ef, k);
-                    (res.iter().map(|n| n.id).collect(), stats.hops, stats.io_seconds)
+                    (
+                        res.iter().map(|n| n.id).collect(),
+                        stats.hops,
+                        stats.io_seconds,
+                    )
                 })
                 .collect();
             let wall = start.elapsed().as_secs_f32().max(1e-9);
@@ -116,7 +120,9 @@ pub fn qps_at_recall(points: &[SweepPoint], target: f32) -> Option<f32> {
             .iter()
             .filter(|p| p.recall >= target)
             .map(|p| p.qps)
-            .fold(None, |acc: Option<f32>, q| Some(acc.map_or(q, |a| a.max(q))));
+            .fold(None, |acc: Option<f32>, q| {
+                Some(acc.map_or(q, |a| a.max(q)))
+            });
     }
     // Linear interpolation between the bracketing points.
     for w in sorted.windows(2) {
@@ -150,8 +156,20 @@ mod tests {
         .generate(320, 1);
         let (base, queries) = data.split_at(300);
         let gt = brute_force_knn(&base, &queries, 5);
-        let graph = HnswConfig { m: 8, ef_construction: 40, seed: 0 }.build(&base);
-        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 16, ..Default::default() }, &base);
+        let graph = HnswConfig {
+            m: 8,
+            ef_construction: 40,
+            seed: 0,
+        }
+        .build(&base);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
         let index = InMemoryIndex::build(pq, &base, graph);
         let points = sweep_memory(&index, &queries, &gt, 5, &[5, 20, 60]);
         assert_eq!(points.len(), 3);
@@ -180,13 +198,29 @@ mod tests {
         .generate(320, 2);
         let (base, queries) = data.split_at(300);
         let gt = brute_force_knn(&base, &queries, 5);
-        let graph = VamanaConfig { r: 8, l: 16, ..Default::default() }.build(&base);
-        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 16, ..Default::default() }, &base);
+        let graph = VamanaConfig {
+            r: 8,
+            l: 16,
+            ..Default::default()
+        }
+        .build(&base);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
         let dir = std::env::temp_dir().join("rpq-harness-test");
         std::fs::create_dir_all(&dir).unwrap();
-        let index =
-            DiskIndex::build(pq, &base, &graph, DiskIndexConfig::new(dir.join("sweep.store")))
-                .unwrap();
+        let index = DiskIndex::build(
+            pq,
+            &base,
+            &graph,
+            DiskIndexConfig::new(dir.join("sweep.store")),
+        )
+        .unwrap();
         let points = sweep_disk(&index, &queries, &gt, 5, &[5, 30]);
         assert_eq!(points.len(), 2);
         for p in &points {
@@ -197,7 +231,13 @@ mod tests {
     }
 
     fn pt(recall: f32, qps: f32) -> SweepPoint {
-        SweepPoint { ef: 0, recall, qps, hops: 0.0, io_ms: 0.0 }
+        SweepPoint {
+            ef: 0,
+            recall,
+            qps,
+            hops: 0.0,
+            io_ms: 0.0,
+        }
     }
 
     #[test]

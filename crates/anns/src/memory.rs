@@ -21,7 +21,11 @@ impl<C: VectorCompressor> InMemoryIndex<C> {
         assert_eq!(graph.len(), data.len(), "graph/dataset size mismatch");
         assert_eq!(compressor.dim(), data.dim(), "compressor dim mismatch");
         let codes = compressor.encode_dataset(data);
-        Self { graph, codes, compressor }
+        Self {
+            graph,
+            codes,
+            compressor,
+        }
     }
 
     /// Beam search with ADC-only distances; returns top-`k` ids with their
@@ -96,7 +100,11 @@ mod tests {
         let (base, queries) = setup(600, 1);
         let graph = HnswConfig::default().build(&base);
         let pq = ProductQuantizer::train(
-            &PqConfig { m: 4, k: 64, ..Default::default() },
+            &PqConfig {
+                m: 4,
+                k: 64,
+                ..Default::default()
+            },
             &base,
         );
         let index = InMemoryIndex::build(pq, &base, graph);
@@ -116,7 +124,14 @@ mod tests {
     fn larger_beam_does_not_reduce_recall() {
         let (base, queries) = setup(500, 2);
         let graph = HnswConfig::default().build(&base);
-        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 64, ..Default::default() }, &base);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 64,
+                ..Default::default()
+            },
+            &base,
+        );
         let index = InMemoryIndex::build(pq, &base, graph);
         let gt = brute_force_knn(&base, &queries, 10);
         let mut scratch = SearchScratch::new();
@@ -140,7 +155,14 @@ mod tests {
         let (base, _) = setup(500, 3);
         let graph = HnswConfig::default().build(&base);
         let graph_bytes = graph.memory_bytes();
-        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 16, ..Default::default() }, &base);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
         let index = InMemoryIndex::build(pq, &base, graph);
         let raw = base.memory_bytes();
         let resident = index.memory_bytes() - graph_bytes; // codes + model
@@ -156,7 +178,14 @@ mod tests {
         let (base, _) = setup(100, 4);
         let (other, _) = setup(50, 5);
         let graph = HnswConfig::default().build(&other);
-        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 16, ..Default::default() }, &base);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
         let _ = InMemoryIndex::build(pq, &base, graph);
     }
 }

@@ -340,13 +340,9 @@ impl Tape {
     /// Element-wise `softplus(x) = ln(1 + eˣ)`, the positive
     /// reparameterisation used for the learnable loss coefficient α.
     pub fn softplus(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| {
-            if x > 20.0 {
-                x
-            } else {
-                (1.0 + x.exp()).ln()
-            }
-        });
+        let v = self
+            .value(a)
+            .map(|x| if x > 20.0 { x } else { (1.0 + x.exp()).ln() });
         let ng = self.needs(a);
         self.push(v, Op::Softplus(a), ng)
     }
@@ -478,7 +474,11 @@ impl Tape {
     /// preserved).
     pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
         let x = self.value(a);
-        assert_eq!(x.rows * x.cols, rows * cols, "reshape: element count mismatch");
+        assert_eq!(
+            x.rows * x.cols,
+            rows * cols,
+            "reshape: element count mismatch"
+        );
         let v = Matrix::from_vec(rows, cols, x.data.clone());
         let ng = self.needs(a);
         self.push(v, Op::Reshape(a), ng)
@@ -495,7 +495,11 @@ impl Tape {
     /// Selects one element per row: output `r×1` with `out[i] = a[i, idx[i]]`.
     pub fn select_per_row(&mut self, a: Var, indices: &[usize]) -> Var {
         let x = self.value(a);
-        assert_eq!(indices.len(), x.rows, "select_per_row: index count must equal rows");
+        assert_eq!(
+            indices.len(),
+            x.rows,
+            "select_per_row: index count must equal rows"
+        );
         let mut v = Matrix::zeros(x.rows, 1);
         for (i, &j) in indices.iter().enumerate() {
             assert!(j < x.cols, "select_per_row: column index {j} out of range");

@@ -19,7 +19,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -72,7 +78,11 @@ impl Adam {
     /// gradient; a `None` gradient (parameter unused this batch) is skipped
     /// but still consumes its moment slot.
     pub fn step(&mut self, updates: &mut [(&mut Matrix, Option<&Matrix>)]) {
-        assert_eq!(updates.len(), self.m.len(), "Adam: parameter count mismatch");
+        assert_eq!(
+            updates.len(),
+            self.m.len(),
+            "Adam: parameter count mismatch"
+        );
         self.t += 1;
         let b1t = 1.0 - self.cfg.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.cfg.beta2.powi(self.t as i32);
@@ -86,7 +96,11 @@ impl Adam {
             );
             let m = &mut self.m[slot];
             let v = &mut self.v[slot];
-            assert_eq!(m.len(), param.data.len(), "Adam: state size mismatch in slot {slot}");
+            assert_eq!(
+                m.len(),
+                param.data.len(),
+                "Adam: state size mismatch in slot {slot}"
+            );
             for i in 0..param.data.len() {
                 let mut g = grad.data[i];
                 if self.cfg.weight_decay > 0.0 {
@@ -143,7 +157,13 @@ impl OneCycleLr {
     /// Schedule with the paper's hyper-parameters: max LR 1e-3, final decay
     /// 0.2, 30% warm-up.
     pub fn paper_defaults(total_steps: usize) -> Self {
-        Self { max_lr: 1e-3, total_steps: total_steps.max(1), pct_start: 0.3, div_factor: 10.0, final_decay: 0.2 }
+        Self {
+            max_lr: 1e-3,
+            total_steps: total_steps.max(1),
+            pct_start: 0.3,
+            div_factor: 10.0,
+            final_decay: 0.2,
+        }
     }
 }
 
@@ -174,7 +194,13 @@ mod tests {
         // minimise f(x) = ||x - target||^2
         let target = Matrix::from_rows(&[&[3.0, -2.0, 0.5]]);
         let mut x = Matrix::zeros(1, 3);
-        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..Default::default() }, &[3]);
+        let mut adam = Adam::new(
+            AdamConfig {
+                lr: 0.1,
+                ..Default::default()
+            },
+            &[3],
+        );
         for _ in 0..400 {
             let grad = x.sub(&target).scale(2.0);
             adam.step(&mut [(&mut x, Some(&grad))]);
@@ -213,7 +239,10 @@ mod tests {
         let peak = sched.lr_at(30);
         let end = sched.lr_at(99);
         assert!(start < peak, "warm-up should increase: {start} vs {peak}");
-        assert!((peak - 1e-3).abs() < 1e-4, "peak should be max_lr, got {peak}");
+        assert!(
+            (peak - 1e-3).abs() < 1e-4,
+            "peak should be max_lr, got {peak}"
+        );
         assert!(end < peak, "should anneal down");
         assert!(end >= 1e-3 * 0.2 - 1e-6, "end {end} not below final floor");
     }

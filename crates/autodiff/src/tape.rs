@@ -71,7 +71,11 @@ impl Tape {
     }
 
     pub(crate) fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> Var {
-        self.nodes.push(Node { value, op, needs_grad });
+        self.nodes.push(Node {
+            value,
+            op,
+            needs_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -105,15 +109,16 @@ impl Tape {
 
     fn accumulate_inputs(&self, idx: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
         let node = &self.nodes[idx];
-        node.op.backward(self, idx, g, &mut |input: Var, contribution: Matrix| {
-            if !self.nodes[input.0].needs_grad {
-                return;
-            }
-            match &mut grads[input.0] {
-                Some(existing) => existing.add_scaled_inplace(&contribution, 1.0),
-                slot @ None => *slot = Some(contribution),
-            }
-        });
+        node.op
+            .backward(self, idx, g, &mut |input: Var, contribution: Matrix| {
+                if !self.nodes[input.0].needs_grad {
+                    return;
+                }
+                match &mut grads[input.0] {
+                    Some(existing) => existing.add_scaled_inplace(&contribution, 1.0),
+                    slot @ None => *slot = Some(contribution),
+                }
+            });
     }
 }
 
@@ -142,7 +147,10 @@ mod tests {
         let both = t.add(dead, live);
         let loss = t.sum_all(both);
         let grads = t.backward(loss);
-        assert!(grads.get(dead).is_none(), "constant branch must not be tracked");
+        assert!(
+            grads.get(dead).is_none(),
+            "constant branch must not be tracked"
+        );
         assert_eq!(grads.get(p).unwrap().data, vec![4.0]);
     }
 

@@ -17,7 +17,10 @@ fn analytic(param: &Matrix, build: &dyn Fn(&mut Tape, Var) -> Var) -> (f32, Matr
     let loss = build(&mut t, p);
     let lv = t.value(loss)[(0, 0)];
     let grads = t.backward(loss);
-    let g = grads.get(p).expect("parameter must receive a gradient").clone();
+    let g = grads
+        .get(p)
+        .expect("parameter must receive a gradient")
+        .clone();
     (lv, g)
 }
 
@@ -375,7 +378,11 @@ fn pairwise_sq_dist_matches_direct() {
     for i in 0..4 {
         for j in 0..3 {
             let expect = rpq_linalg::distance::sq_l2(x.row(i), c.row(j));
-            assert!((dv[(i, j)] - expect).abs() < 1e-3, "{} vs {expect}", dv[(i, j)]);
+            assert!(
+                (dv[(i, j)] - expect).abs() < 1e-3,
+                "{} vs {expect}",
+                dv[(i, j)]
+            );
         }
     }
 }

@@ -34,7 +34,11 @@ use rpq_quant::{kmeans, KMeansConfig, PqConfig, ProductQuantizer, SdcEstimator, 
 fn bench_all(c: &mut Criterion) {
     let (base, queries) = DatasetKind::Sift.generate(2000, 8, 7);
     let pq = ProductQuantizer::train(
-        &PqConfig { m: 8, k: 64, ..Default::default() },
+        &PqConfig {
+            m: 8,
+            k: 64,
+            ..Default::default()
+        },
         &base,
     );
     let codes = pq.encode_dataset(&base);
@@ -66,7 +70,12 @@ fn bench_all(c: &mut Criterion) {
     });
 
     // beam_search_memory (Figures 6-7).
-    let hnsw = HnswConfig { m: 8, ef_construction: 60, seed: 0 }.build(&base);
+    let hnsw = HnswConfig {
+        m: 8,
+        ef_construction: 60,
+        seed: 0,
+    }
+    .build(&base);
     let mem_index = InMemoryIndex::build(pq.clone(), &base, hnsw);
     c.bench_function("beam_search_memory_ef40", |b| {
         let mut scratch = SearchScratch::new();
@@ -74,7 +83,14 @@ fn bench_all(c: &mut Criterion) {
     });
 
     // disk_search (Figure 5).
-    let vamana = Arc::new(VamanaConfig { r: 16, l: 32, ..Default::default() }.build(&base));
+    let vamana = Arc::new(
+        VamanaConfig {
+            r: 16,
+            l: 32,
+            ..Default::default()
+        }
+        .build(&base),
+    );
     let store = std::env::temp_dir().join("rpq-criterion.store");
     let disk_index =
         DiskIndex::build(pq.clone(), &base, &vamana, DiskIndexConfig::new(&store)).unwrap();
@@ -84,13 +100,16 @@ fn bench_all(c: &mut Criterion) {
 
     // kmeans_subspace (Table 4 / Figure 9 grid).
     c.bench_function("kmeans_k64_d16_n2000", |b| {
-        let sub: Vec<f32> =
-            base.iter().flat_map(|v| v[0..16].to_vec()).collect();
+        let sub: Vec<f32> = base.iter().flat_map(|v| v[0..16].to_vec()).collect();
         b.iter(|| {
             std::hint::black_box(kmeans(
                 &sub,
                 16,
-                KMeansConfig { k: 64, max_iters: 3, ..Default::default() },
+                KMeansConfig {
+                    k: 64,
+                    max_iters: 3,
+                    ..Default::default()
+                },
             ))
         })
     });
@@ -123,18 +142,25 @@ fn bench_all(c: &mut Criterion) {
     // rpq_training_step (one joint step at small scale, Table 4).
     let graph = vamana;
     let dq = DiffQuantizer::init(
-        DiffQuantizerConfig { m: 8, k: 32, ..Default::default() },
+        DiffQuantizerConfig {
+            m: 8,
+            k: 32,
+            ..Default::default()
+        },
         &base,
     );
-    let triplets =
-        sample_triplets(&graph, &base, &TripletSamplerConfig::default(), 16);
+    let triplets = sample_triplets(&graph, &base, &TripletSamplerConfig::default(), 16);
     let exported = dq.export_pq(0.0);
     let ecodes = exported.encode_dataset(&base);
     let decisions = sample_routing_features(
         &graph,
         &base,
         &|qv| exported.estimator(&ecodes, qv),
-        &RoutingSamplerConfig { n_queries: 4, h: 8, ..Default::default() },
+        &RoutingSamplerConfig {
+            n_queries: 4,
+            h: 8,
+            ..Default::default()
+        },
     );
     c.bench_function("rpq_training_step", |b| {
         let mut rng = SmallRng::seed_from_u64(2);
@@ -142,7 +168,8 @@ fn bench_all(c: &mut Criterion) {
             Tape::new,
             |mut t| {
                 let vars = dq.begin(&mut t);
-                let ln = neighborhood_loss(&mut t, &dq, &vars, &base, &triplets, 1.0, 0.5, &mut rng);
+                let ln =
+                    neighborhood_loss(&mut t, &dq, &vars, &base, &triplets, 1.0, 0.5, &mut rng);
                 let lr = if decisions.is_empty() {
                     None
                 } else {

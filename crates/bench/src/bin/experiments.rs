@@ -78,7 +78,11 @@ fn main() {
 /// table4/table5, table6/table7 and fig9/fig10 are produced together; keep
 /// only the first of each pair.
 fn dedup_pairs(ids: &mut Vec<&str>) {
-    let pairs = [("table5", "table4"), ("table7", "table6"), ("fig10", "fig9")];
+    let pairs = [
+        ("table5", "table4"),
+        ("table7", "table6"),
+        ("fig10", "fig9"),
+    ];
     for (dup, canonical) in pairs {
         if ids.contains(&dup) && ids.contains(&canonical) {
             ids.retain(|x| *x != dup);

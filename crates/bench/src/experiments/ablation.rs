@@ -69,19 +69,22 @@ pub fn tables67(scale: &Scale) -> (Report, Report) {
             let inner = rpq.inner();
             // Re-wrap cheaply for the second scenario: rebuild from the same
             // learned rotation/codebook.
-            let clone_box: Box<dyn VectorCompressor> = Box::new(
-                rpq_quant::OptimizedProductQuantizer::from_parts(
+            let clone_box: Box<dyn VectorCompressor> =
+                Box::new(rpq_quant::OptimizedProductQuantizer::from_parts(
                     inner.rotation().clone(),
                     inner.pq().clone(),
                     inner.train_seconds(),
-                ),
-            );
+                ));
             let hyb = hybrid_sweep(
                 &bench,
                 &vamana,
                 Box::new(rpq) as Box<dyn VectorCompressor>,
                 scale,
-                &format!("t67-{}-{}", kind.name(), mode.label().replace([' ', '/'], "")),
+                &format!(
+                    "t67-{}-{}",
+                    kind.name(),
+                    mode.label().replace([' ', '/'], "")
+                ),
             );
             let mem = memory_sweep(&bench, &hnsw, clone_box, scale);
             hybrid_sweeps.push((mode.label().to_string(), hyb));
@@ -152,13 +155,12 @@ pub fn fig8(scale: &Scale) -> Report {
             cfg.triplet_sampler.k_neg = k_neg;
             let (rpq, _) = train_rpq(&cfg, &bench.base, &vamana);
             let inner = rpq.inner();
-            let clone_box: Box<dyn VectorCompressor> = Box::new(
-                rpq_quant::OptimizedProductQuantizer::from_parts(
+            let clone_box: Box<dyn VectorCompressor> =
+                Box::new(rpq_quant::OptimizedProductQuantizer::from_parts(
                     inner.rotation().clone(),
                     inner.pq().clone(),
                     inner.train_seconds(),
-                ),
-            );
+                ));
             let hyb = hybrid_sweep(
                 &bench,
                 &vamana,

@@ -25,8 +25,12 @@ use crate::setup::{build_graph, make_bench, rpq_config, GraphKind};
 /// exact comparison; the gap between rows is the information carried by
 /// the third (angle) term.
 pub fn table2(scale: &Scale) -> Report {
-    let kinds =
-        [DatasetKind::Sift, DatasetKind::Deep, DatasetKind::Ukbench, DatasetKind::Gist];
+    let kinds = [
+        DatasetKind::Sift,
+        DatasetKind::Deep,
+        DatasetKind::Ukbench,
+        DatasetKind::Gist,
+    ];
     let mut report = Report::new(
         "table2",
         "Recall@10 with partial vs full ranking terms (paper Table 2)",
@@ -47,7 +51,12 @@ pub fn table2(scale: &Scale) -> Report {
         let bench = make_bench(kind, scale.n_base, scale.n_query, scale.k, scale.seed);
         let graph = build_graph(GraphKind::Hnsw, &bench.base, scale.seed);
         let pq = ProductQuantizer::train(
-            &PqConfig { m: scale.m, k: scale.kk, seed: scale.seed, ..Default::default() },
+            &PqConfig {
+                m: scale.m,
+                k: scale.kk,
+                seed: scale.seed,
+                ..Default::default()
+            },
             &bench.base,
         );
         let codes = pq.encode_dataset(&bench.base);
@@ -72,7 +81,11 @@ pub fn table2(scale: &Scale) -> Report {
         let adc_recall = run(true);
         partial_row.push(fmt(sdc_recall));
         full_row.push(fmt(adc_recall));
-        outs.push(Out { dataset: kind.name().into(), sdc_recall, adc_recall });
+        outs.push(Out {
+            dataset: kind.name().into(),
+            sdc_recall,
+            adc_recall,
+        });
     }
     report.push_row(partial_row);
     report.push_row(full_row);
@@ -90,7 +103,12 @@ pub fn fig4(scale: &Scale) -> Report {
         "fig4",
         "Per-chunk variance share before/after adaptive decomposition (paper Fig. 4)",
         &scale.label(),
-        &["Dataset", "Stage", "chunk variance shares (M chunks)", "max/mean imbalance"],
+        &[
+            "Dataset",
+            "Stage",
+            "chunk variance shares (M chunks)",
+            "max/mean imbalance",
+        ],
     );
     #[derive(Serialize)]
     struct Out {
@@ -121,7 +139,11 @@ pub fn fig4(scale: &Scale) -> Report {
         // OPQ's distortion-minimising rotation as the balancing reference.
         let opq = rpq_quant::OptimizedProductQuantizer::train(
             &rpq_quant::OpqConfig {
-                pq: rpq_quant::PqConfig { m: scale.m, k: scale.kk.min(64), ..Default::default() },
+                pq: rpq_quant::PqConfig {
+                    m: scale.m,
+                    k: scale.kk.min(64),
+                    ..Default::default()
+                },
                 iters: 6,
             },
             &imbalanced,
@@ -133,7 +155,11 @@ pub fn fig4(scale: &Scale) -> Report {
         report.push_row(vec![
             kind.name().into(),
             "before".into(),
-            before.iter().map(|v| fmt(*v)).collect::<Vec<_>>().join(", "),
+            before
+                .iter()
+                .map(|v| fmt(*v))
+                .collect::<Vec<_>>()
+                .join(", "),
             fmt(ib),
         ]);
         report.push_row(vec![
@@ -145,7 +171,11 @@ pub fn fig4(scale: &Scale) -> Report {
         report.push_row(vec![
             kind.name().into(),
             "after (OPQ rotation, reference)".into(),
-            after_opq.iter().map(|v| fmt(*v)).collect::<Vec<_>>().join(", "),
+            after_opq
+                .iter()
+                .map(|v| fmt(*v))
+                .collect::<Vec<_>>()
+                .join(", "),
             fmt(io),
         ]);
         outs.push(Out {
@@ -182,7 +212,9 @@ fn chunk_variance_shares(data: &Dataset, m: usize) -> Vec<f32> {
     let var = data.dimension_variance();
     let dsub = var.len() / m;
     let total: f32 = var.iter().sum::<f32>().max(1e-12);
-    (0..m).map(|j| var[j * dsub..(j + 1) * dsub].iter().sum::<f32>() / total).collect()
+    (0..m)
+        .map(|j| var[j * dsub..(j + 1) * dsub].iter().sum::<f32>() / total)
+        .collect()
 }
 
 fn imbalance_metric(shares: &[f32]) -> f32 {
@@ -231,7 +263,12 @@ pub fn tables45(scale: &Scale) -> (Report, Report) {
         let graph = Arc::new(build_graph(GraphKind::Vamana, &bench.base, scale.seed));
         let cat = Catalyst::train(
             &CatalystConfig {
-                pq: PqConfig { m: scale.m, k: scale.kk, seed: scale.seed, ..Default::default() },
+                pq: PqConfig {
+                    m: scale.m,
+                    k: scale.kk,
+                    seed: scale.seed,
+                    ..Default::default()
+                },
                 seed: scale.seed,
                 ..Default::default()
             },

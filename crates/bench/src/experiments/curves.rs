@@ -25,13 +25,27 @@ pub fn fig5(scale: &Scale) -> Report {
         "fig5",
         "Hybrid scenario: QPS / Hops / IO vs Recall@10 (paper Fig. 5)",
         &scale.label(),
-        &["Dataset", "Method", "ef", "Recall@10", "QPS", "Hops", "IO ms/query"],
+        &[
+            "Dataset",
+            "Method",
+            "ef",
+            "Recall@10",
+            "QPS",
+            "Hops",
+            "IO ms/query",
+        ],
     );
     let mut outs = Vec::new();
     for kind in DatasetKind::ALL {
         let bench = make_bench(kind, scale.n_base, scale.n_query, scale.k, scale.seed);
         let graph = Arc::new(build_graph(GraphKind::Vamana, &bench.base, scale.seed));
-        let sweeps = run_hybrid(&bench, &graph, &Method::HYBRID, scale, &format!("fig5-{}", kind.name()));
+        let sweeps = run_hybrid(
+            &bench,
+            &graph,
+            &Method::HYBRID,
+            scale,
+            &format!("fig5-{}", kind.name()),
+        );
         for (method, pts) in &sweeps {
             for p in pts {
                 report.push_row(vec![
@@ -45,7 +59,10 @@ pub fn fig5(scale: &Scale) -> Report {
                 ]);
             }
         }
-        outs.push(DatasetCurves { dataset: kind.name().into(), curves: to_curves(&sweeps) });
+        outs.push(DatasetCurves {
+            dataset: kind.name().into(),
+            curves: to_curves(&sweeps),
+        });
     }
     write_json("fig5", &outs);
     report
@@ -54,12 +71,24 @@ pub fn fig5(scale: &Scale) -> Report {
 /// **Figure 6**: in-memory scenario over HNSW — QPS and Hops vs Recall@10
 /// for PQ / OPQ / L&C / Catalyst / RPQ.
 pub fn fig6(scale: &Scale) -> Report {
-    memory_figure(scale, "fig6", GraphKind::Hnsw, &Method::MEMORY_HNSW, "paper Fig. 6 (HNSW)")
+    memory_figure(
+        scale,
+        "fig6",
+        GraphKind::Hnsw,
+        &Method::MEMORY_HNSW,
+        "paper Fig. 6 (HNSW)",
+    )
 }
 
 /// **Figure 7**: in-memory scenario over NSG — PQ / OPQ / Catalyst / RPQ.
 pub fn fig7(scale: &Scale) -> Report {
-    memory_figure(scale, "fig7", GraphKind::Nsg, &Method::MEMORY_NSG, "paper Fig. 7 (NSG)")
+    memory_figure(
+        scale,
+        "fig7",
+        GraphKind::Nsg,
+        &Method::MEMORY_NSG,
+        "paper Fig. 7 (NSG)",
+    )
 }
 
 fn memory_figure(
@@ -92,7 +121,10 @@ fn memory_figure(
                 ]);
             }
         }
-        outs.push(DatasetCurves { dataset: kind.name().into(), curves: to_curves(&sweeps) });
+        outs.push(DatasetCurves {
+            dataset: kind.name().into(),
+            curves: to_curves(&sweeps),
+        });
     }
     write_json(id, &outs);
     report

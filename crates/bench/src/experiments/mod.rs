@@ -28,7 +28,13 @@ pub struct PointJson {
 
 impl From<SweepPoint> for PointJson {
     fn from(p: SweepPoint) -> Self {
-        Self { ef: p.ef, recall: p.recall, qps: p.qps, hops: p.hops, io_ms: p.io_ms }
+        Self {
+            ef: p.ef,
+            recall: p.recall,
+            qps: p.qps,
+            hops: p.hops,
+            io_ms: p.io_ms,
+        }
     }
 }
 
@@ -52,7 +58,16 @@ pub fn run_hybrid(
         .iter()
         .map(|m| {
             let compressor = m.build(&bench.base, graph, scale);
-            (m.name(), hybrid_sweep(bench, graph, compressor, scale, &format!("{tag}-{}", sanitize(&m.name()))))
+            (
+                m.name(),
+                hybrid_sweep(
+                    bench,
+                    graph,
+                    compressor,
+                    scale,
+                    &format!("{tag}-{}", sanitize(&m.name())),
+                ),
+            )
         })
         .collect()
 }
@@ -125,5 +140,7 @@ pub fn to_curves(sweeps: &[(String, Vec<SweepPoint>)]) -> Vec<Curve> {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
 }

@@ -54,13 +54,12 @@ pub fn fig910(scale: &Scale) -> (Report, Report) {
                 let cfg = rpq_config(TrainingMode::Full, &grid_scale, m, kk);
                 let (rpq, _) = train_rpq(&cfg, &bench.base, &vamana);
                 let inner = rpq.inner();
-                let clone_box: Box<dyn VectorCompressor> = Box::new(
-                    rpq_quant::OptimizedProductQuantizer::from_parts(
+                let clone_box: Box<dyn VectorCompressor> =
+                    Box::new(rpq_quant::OptimizedProductQuantizer::from_parts(
                         inner.rotation().clone(),
                         inner.pq().clone(),
                         inner.train_seconds(),
-                    ),
-                );
+                    ));
                 let hyb = hybrid_sweep(
                     &bench,
                     &vamana,
@@ -72,15 +71,19 @@ pub fn fig910(scale: &Scale) -> (Report, Report) {
                 cells.push((kk, m, hyb, mem));
             }
         }
-        let named: Vec<(String, Vec<rpq_anns::SweepPoint>)> =
-            cells.iter().map(|(kk, m, h, _)| (format!("K{kk}M{m}"), h.clone())).collect();
+        let named: Vec<(String, Vec<rpq_anns::SweepPoint>)> = cells
+            .iter()
+            .map(|(kk, m, h, _)| (format!("K{kk}M{m}"), h.clone()))
+            .collect();
         let target = common_target(&named, 0.95);
         for &kk in &ks {
             let mut row9 = vec![kind.name().to_string(), kk.to_string()];
             let mut row10 = vec![kind.name().to_string(), kk.to_string()];
             for &m in &ms {
-                let (_, _, hyb, mem) =
-                    cells.iter().find(|(ck, cm, _, _)| *ck == kk && *cm == m).unwrap();
+                let (_, _, hyb, mem) = cells
+                    .iter()
+                    .find(|(ck, cm, _, _)| *ck == kk && *cm == m)
+                    .unwrap();
                 let qps = rpq_anns::qps_at_recall(hyb, target).unwrap_or(0.0);
                 let max_recall = mem.iter().map(|p| p.recall).fold(0.0f32, f32::max);
                 row9.push(fmt(qps));
@@ -124,13 +127,18 @@ pub fn fig11(scale: &Scale) -> Report {
             let vamana = Arc::new(build_graph(GraphKind::Vamana, &bench.base, scale.seed));
             let mut sweeps = Vec::new();
             for method in [Method::Pq, Method::Rpq(TrainingMode::Full)] {
-                let compressor = build_method(method, &bench.base, &vamana, scale, scale.m, scale.kk);
+                let compressor =
+                    build_method(method, &bench.base, &vamana, scale, scale.m, scale.kk);
                 let pts = hybrid_sweep(
                     &bench,
                     &vamana,
                     compressor,
                     scale,
-                    &format!("fig11-{}-{n}-{}", kind.name(), method.name().replace(['&', ' ', '/'], "")),
+                    &format!(
+                        "fig11-{}-{n}-{}",
+                        kind.name(),
+                        method.name().replace(['&', ' ', '/'], "")
+                    ),
                 );
                 sweeps.push((method.name(), pts));
             }
@@ -143,7 +151,12 @@ pub fn fig11(scale: &Scale) -> Report {
                 fmt(pq_qps),
                 fmt(rpq_qps),
             ]);
-            outs.push(Out { dataset: kind.name().into(), n, pq_qps, rpq_qps });
+            outs.push(Out {
+                dataset: kind.name().into(),
+                n,
+                pq_qps,
+                rpq_qps,
+            });
         }
     }
     write_json("fig11", &outs);
@@ -158,7 +171,14 @@ pub fn fig12(scale: &Scale) -> Report {
         "fig12",
         "Scalability, in-memory: QPS (recall annotated) vs scale (paper Fig. 12)",
         &scale.label(),
-        &["Dataset", "n", "HNSW-PQ QPS", "PQ recall", "HNSW-RPQ QPS", "RPQ recall"],
+        &[
+            "Dataset",
+            "n",
+            "HNSW-PQ QPS",
+            "PQ recall",
+            "HNSW-RPQ QPS",
+            "RPQ recall",
+        ],
     );
     #[derive(Serialize)]
     struct Out {
@@ -178,8 +198,10 @@ pub fn fig12(scale: &Scale) -> Report {
             let mut cells = Vec::new();
             for method in [Method::Pq, Method::Rpq(TrainingMode::Full)] {
                 let compressor = build_method(method, &bench.base, &hnsw, scale, scale.m, scale.kk);
-                let mut one = crate::scale::Scale { efs: vec![ef], ..scale.clone() };
-                one.efs = vec![ef];
+                let one = crate::scale::Scale {
+                    efs: vec![ef],
+                    ..scale.clone()
+                };
                 let pts = memory_sweep(&bench, &hnsw, compressor, &one);
                 cells.push(pts[0]);
             }

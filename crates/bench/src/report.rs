@@ -41,7 +41,10 @@ impl Report {
     /// Renders as a markdown table.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("\n## {} — {} ({})\n\n", self.id, self.title, self.scale));
+        out.push_str(&format!(
+            "\n## {} — {} ({})\n\n",
+            self.id, self.title, self.scale
+        ));
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
         out.push_str(&format!("|{}\n", "---|".repeat(self.columns.len())));
         for row in &self.rows {

@@ -96,7 +96,10 @@ impl Scale {
 
     /// Name for report headers.
     pub fn label(&self) -> String {
-        format!("n={}, q={}, K={}, M={}", self.n_base, self.n_query, self.kk, self.m)
+        format!(
+            "n={}, q={}, K={}, M={}",
+            self.n_base, self.n_query, self.kk, self.m
+        )
     }
 }
 

@@ -12,7 +12,9 @@ use rpq_data::{brute_force_knn, Dataset, GroundTruth};
 use rpq_graph::{HnswConfig, NsgConfig, ProximityGraph, VamanaConfig};
 use rpq_quant::catalyst::{Catalyst, CatalystConfig};
 use rpq_quant::lc::{LcConfig, LinkAndCode};
-use rpq_quant::{OpqConfig, OptimizedProductQuantizer, PqConfig, ProductQuantizer, VectorCompressor};
+use rpq_quant::{
+    OpqConfig, OptimizedProductQuantizer, PqConfig, ProductQuantizer, VectorCompressor,
+};
 
 use crate::scale::Scale;
 
@@ -28,7 +30,12 @@ pub struct Bench {
 pub fn make_bench(kind: DatasetKind, n_base: usize, n_query: usize, k: usize, seed: u64) -> Bench {
     let (base, queries) = kind.generate(n_base, n_query, seed);
     let gt = brute_force_knn(&base, &queries, k);
-    Bench { kind, base, queries, gt }
+    Bench {
+        kind,
+        base,
+        queries,
+        gt,
+    }
 }
 
 /// Which proximity graph to build.
@@ -43,9 +50,26 @@ pub enum GraphKind {
 /// Builds the requested graph with experiment defaults.
 pub fn build_graph(kind: GraphKind, data: &Dataset, seed: u64) -> ProximityGraph {
     match kind {
-        GraphKind::Vamana => VamanaConfig { r: 32, l: 64, seed, ..Default::default() }.build(data),
-        GraphKind::Hnsw => HnswConfig { m: 16, ef_construction: 100, seed }.build(data),
-        GraphKind::Nsg => NsgConfig { r: 32, l: 64, seed, ..Default::default() }.build(data),
+        GraphKind::Vamana => VamanaConfig {
+            r: 32,
+            l: 64,
+            seed,
+            ..Default::default()
+        }
+        .build(data),
+        GraphKind::Hnsw => HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            seed,
+        }
+        .build(data),
+        GraphKind::Nsg => NsgConfig {
+            r: 32,
+            l: 64,
+            seed,
+            ..Default::default()
+        }
+        .build(data),
     }
 }
 
@@ -73,8 +97,12 @@ impl Method {
     }
 
     /// Methods of the hybrid-scenario comparison (paper Figure 5).
-    pub const HYBRID: [Method; 4] =
-        [Method::Pq, Method::Opq, Method::Catalyst, Method::Rpq(TrainingMode::Full)];
+    pub const HYBRID: [Method; 4] = [
+        Method::Pq,
+        Method::Opq,
+        Method::Catalyst,
+        Method::Rpq(TrainingMode::Full),
+    ];
 
     /// Methods of the in-memory HNSW comparison (paper Figure 6).
     pub const MEMORY_HNSW: [Method; 5] = [
@@ -86,8 +114,12 @@ impl Method {
     ];
 
     /// Methods of the in-memory NSG comparison (paper Figure 7).
-    pub const MEMORY_NSG: [Method; 4] =
-        [Method::Pq, Method::Opq, Method::Catalyst, Method::Rpq(TrainingMode::Full)];
+    pub const MEMORY_NSG: [Method; 4] = [
+        Method::Pq,
+        Method::Opq,
+        Method::Catalyst,
+        Method::Rpq(TrainingMode::Full),
+    ];
 
     /// Trains this method on `data` over `graph`.
     pub fn build(
@@ -110,26 +142,43 @@ pub fn build_method(
     m: usize,
     kk: usize,
 ) -> Box<dyn VectorCompressor> {
-    let pq_cfg = PqConfig { m, k: kk, seed: scale.seed, ..Default::default() };
+    let pq_cfg = PqConfig {
+        m,
+        k: kk,
+        seed: scale.seed,
+        ..Default::default()
+    };
     match method {
         Method::Pq => Box::new(ProductQuantizer::train(&pq_cfg, data)),
-        Method::Opq => {
-            Box::new(OptimizedProductQuantizer::train(&OpqConfig { pq: pq_cfg, iters: 6 }, data))
-        }
+        Method::Opq => Box::new(OptimizedProductQuantizer::train(
+            &OpqConfig {
+                pq: pq_cfg,
+                iters: 6,
+            },
+            data,
+        )),
         Method::Catalyst => {
             // d_out must be divisible by m; 40 works for m=8, fall back to
             // m·5 otherwise.
             let d_out = if 40 % m == 0 { 40 } else { m * 5 };
             let cfg = CatalystConfig {
                 d_out,
-                pq: PqConfig { m, k: kk, seed: scale.seed, ..Default::default() },
+                pq: PqConfig {
+                    m,
+                    k: kk,
+                    seed: scale.seed,
+                    ..Default::default()
+                },
                 seed: scale.seed,
                 ..Default::default()
             };
             Box::new(Catalyst::train(&cfg, data))
         }
         Method::Lc => Box::new(LinkAndCode::train(
-            &LcConfig { pq: pq_cfg, fit_sample: 2000 },
+            &LcConfig {
+                pq: pq_cfg,
+                fit_sample: 2000,
+            },
             data,
             Arc::clone(graph),
         )),
@@ -144,13 +193,22 @@ pub fn build_method(
 /// The RPQ trainer configuration used by experiments.
 pub fn rpq_config(mode: TrainingMode, scale: &Scale, m: usize, kk: usize) -> RpqTrainerConfig {
     RpqTrainerConfig {
-        quantizer: DiffQuantizerConfig { m, k: kk, seed: scale.seed, ..Default::default() },
+        quantizer: DiffQuantizerConfig {
+            m,
+            k: kk,
+            seed: scale.seed,
+            ..Default::default()
+        },
         mode,
         epochs: scale.rpq_epochs,
         steps_per_epoch: scale.rpq_steps,
         triplet_batch: 32,
         decision_batch: 8,
-        routing_sampler: RoutingSamplerConfig { n_queries: 16, h: 8, ..Default::default() },
+        routing_sampler: RoutingSamplerConfig {
+            n_queries: 16,
+            h: 8,
+            ..Default::default()
+        },
         seed: scale.seed,
         ..Default::default()
     }

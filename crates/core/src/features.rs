@@ -40,7 +40,12 @@ pub struct TripletSamplerConfig {
 
 impl Default for TripletSamplerConfig {
     fn default() -> Self {
-        Self { n_hops: 2, k_pos: 8, k_neg: 16, seed: 0 }
+        Self {
+            n_hops: 2,
+            k_pos: 8,
+            k_neg: 16,
+            seed: 0,
+        }
     }
 }
 
@@ -54,7 +59,10 @@ pub fn sample_triplets(
     count: usize,
 ) -> Vec<Triplet> {
     assert_eq!(graph.len(), data.len(), "graph/dataset size mismatch");
-    assert!(cfg.k_pos >= 1, "k_pos must be >= 1 (paper: k_pos ∈ [1, |N_n(v)|))");
+    assert!(
+        cfg.k_pos >= 1,
+        "k_pos must be >= 1 (paper: k_pos ∈ [1, |N_n(v)|))"
+    );
     assert!(cfg.k_neg >= 1, "k_neg must be >= 1");
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let n = graph.len();
@@ -85,7 +93,11 @@ pub fn sample_triplets(
         // Lines 14–19: positive from the top scope, negative from the rest.
         let pos = hood[rng.gen_range(0..k_pos_eff)];
         let neg = hood[rng.gen_range(k_pos_eff..hood.len())];
-        out.push(Triplet { anchor: v, pos, neg });
+        out.push(Triplet {
+            anchor: v,
+            pos,
+            neg,
+        });
     }
     out
 }
@@ -118,7 +130,12 @@ pub struct RoutingSamplerConfig {
 
 impl Default for RoutingSamplerConfig {
     fn default() -> Self {
-        Self { n_queries: 32, h: 16, max_decisions_per_query: 24, seed: 0 }
+        Self {
+            n_queries: 32,
+            h: 16,
+            max_decisions_per_query: 24,
+            seed: 0,
+        }
     }
 }
 
@@ -165,7 +182,11 @@ pub fn sample_routing_features<'a>(
                 })
                 .map(|(i, _)| i)
                 .expect("non-empty ranked set");
-            out.push(RoutingFeature { query: qid, candidates: d.ranked, best });
+            out.push(RoutingFeature {
+                query: qid,
+                candidates: d.ranked,
+                best,
+            });
             kept += 1;
             if cfg.max_decisions_per_query > 0 && kept >= cfg.max_decisions_per_query {
                 break;
@@ -191,14 +212,24 @@ mod tests {
             transform: ValueTransform::Identity,
         }
         .generate(n, seed);
-        let graph = VamanaConfig { r: 8, l: 24, ..Default::default() }.build(&data);
+        let graph = VamanaConfig {
+            r: 8,
+            l: 24,
+            ..Default::default()
+        }
+        .build(&data);
         (data, graph)
     }
 
     #[test]
     fn triplets_respect_scopes() {
         let (data, graph) = setup(400, 1);
-        let cfg = TripletSamplerConfig { n_hops: 2, k_pos: 4, k_neg: 8, seed: 0 };
+        let cfg = TripletSamplerConfig {
+            n_hops: 2,
+            k_pos: 4,
+            k_neg: 8,
+            seed: 0,
+        };
         let triplets = sample_triplets(&graph, &data, &cfg, 50);
         assert!(!triplets.is_empty());
         for t in &triplets {
@@ -244,7 +275,11 @@ mod tests {
     #[test]
     fn routing_features_have_valid_labels() {
         let (data, graph) = setup(400, 4);
-        let cfg = RoutingSamplerConfig { n_queries: 8, h: 8, ..Default::default() };
+        let cfg = RoutingSamplerConfig {
+            n_queries: 8,
+            h: 8,
+            ..Default::default()
+        };
         let feats = sample_routing_features(
             &graph,
             &data,
@@ -269,16 +304,22 @@ mod tests {
         // When routing uses exact distances, the recorded sets are already
         // correctly ranked, so the best label is (almost always) index 0.
         let (data, graph) = setup(300, 5);
-        let cfg = RoutingSamplerConfig { n_queries: 6, h: 6, ..Default::default() };
+        let cfg = RoutingSamplerConfig {
+            n_queries: 6,
+            h: 6,
+            ..Default::default()
+        };
         let feats = sample_routing_features(
             &graph,
             &data,
             &|q| Box::new(ExactEstimator::new(&data, q)) as Box<dyn DistanceEstimator>,
             &cfg,
         );
-        let zero_frac =
-            feats.iter().filter(|f| f.best == 0).count() as f32 / feats.len() as f32;
-        assert!(zero_frac > 0.9, "exact routing should rank best first ({zero_frac})");
+        let zero_frac = feats.iter().filter(|f| f.best == 0).count() as f32 / feats.len() as f32;
+        assert!(
+            zero_frac > 0.9,
+            "exact routing should rank best first ({zero_frac})"
+        );
     }
 
     #[test]
@@ -289,10 +330,16 @@ mod tests {
         for i in 0..6 {
             data.push(&[i as f32, 0.0]);
         }
-        let adj: Vec<Vec<u32>> =
-            (0..6).map(|i| if i == 0 { (1..6).collect() } else { vec![0] }).collect();
+        let adj: Vec<Vec<u32>> = (0..6)
+            .map(|i| if i == 0 { (1..6).collect() } else { vec![0] })
+            .collect();
         let graph = rpq_graph::ProximityGraph::from_adjacency(adj, 0);
-        let cfg = TripletSamplerConfig { n_hops: 1, k_pos: 2, k_neg: 4, seed: 0 };
+        let cfg = TripletSamplerConfig {
+            n_hops: 1,
+            k_pos: 2,
+            k_neg: 4,
+            seed: 0,
+        };
         let triplets = sample_triplets(&graph, &data, &cfg, 20);
         for t in &triplets {
             assert_ne!(t.pos, t.neg);
@@ -306,7 +353,11 @@ mod tests {
         // ever fills the beam, so the sampler returns nothing (rather than
         // ragged batches).
         let (data, graph) = setup(40, 7);
-        let cfg = RoutingSamplerConfig { n_queries: 4, h: 64, ..Default::default() };
+        let cfg = RoutingSamplerConfig {
+            n_queries: 4,
+            h: 64,
+            ..Default::default()
+        };
         let feats = sample_routing_features(
             &graph,
             &data,
@@ -322,14 +373,24 @@ mod tests {
     #[should_panic(expected = "k_pos must be >= 1")]
     fn zero_k_pos_rejected() {
         let (data, graph) = setup(50, 8);
-        let cfg = TripletSamplerConfig { n_hops: 1, k_pos: 0, k_neg: 4, seed: 0 };
+        let cfg = TripletSamplerConfig {
+            n_hops: 1,
+            k_pos: 0,
+            k_neg: 4,
+            seed: 0,
+        };
         let _ = sample_triplets(&graph, &data, &cfg, 1);
     }
 
     #[test]
     fn decisions_per_query_capped() {
         let (data, graph) = setup(300, 6);
-        let cfg = RoutingSamplerConfig { n_queries: 3, h: 4, max_decisions_per_query: 2, seed: 1 };
+        let cfg = RoutingSamplerConfig {
+            n_queries: 3,
+            h: 4,
+            max_decisions_per_query: 2,
+            seed: 1,
+        };
         let feats = sample_routing_features(
             &graph,
             &data,

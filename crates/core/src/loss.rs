@@ -44,7 +44,10 @@ pub fn neighborhood_loss<R: Rng + ?Sized>(
     tau_gumbel: f32,
     rng: &mut R,
 ) -> Var {
-    assert!(!triplets.is_empty(), "neighborhood loss needs at least one triplet");
+    assert!(
+        !triplets.is_empty(),
+        "neighborhood loss needs at least one triplet"
+    );
     let b = triplets.len();
     let d = data.dim();
     let mut rows = Vec::with_capacity(3 * b * d);
@@ -69,8 +72,9 @@ pub fn neighborhood_loss<R: Rng + ?Sized>(
     // Scale-free margin: distances are normalised by their batch mean
     // (stop-gradient), so σ is a relative margin and the hinge gradient
     // magnitude is dataset-independent.
-    let norm = 0.5 * (crate::quantizer::batch_mean(t.value(d_ap))
-        + crate::quantizer::batch_mean(t.value(d_an)));
+    let norm = 0.5
+        * (crate::quantizer::batch_mean(t.value(d_ap))
+            + crate::quantizer::batch_mean(t.value(d_an)));
     let gap = t.sub(d_ap, d_an);
     let gap = t.scale(gap, 1.0 / norm);
     let shifted = t.add_scalar(gap, sigma);
@@ -95,7 +99,10 @@ pub fn routing_loss<R: Rng + ?Sized>(
     tau_gumbel: f32,
     rng: &mut R,
 ) -> Var {
-    assert!(!decisions.is_empty(), "routing loss needs at least one decision");
+    assert!(
+        !decisions.is_empty(),
+        "routing loss needs at least one decision"
+    );
     let b = decisions.len();
     let h = decisions[0].candidates.len();
     assert!(h >= 2, "decisions must have at least two candidates");
@@ -151,7 +158,10 @@ pub fn reconstruction_loss<R: Rng + ?Sized>(
     tau_gumbel: f32,
     rng: &mut R,
 ) -> Var {
-    assert!(!ids.is_empty(), "reconstruction loss needs at least one vector");
+    assert!(
+        !ids.is_empty(),
+        "reconstruction loss needs at least one vector"
+    );
     let d = data.dim();
     let mut rows = Vec::with_capacity(ids.len() * d);
     for &i in ids {
@@ -230,7 +240,12 @@ mod tests {
 
     fn small_dq(data: &Dataset) -> DiffQuantizer {
         DiffQuantizer::init(
-            DiffQuantizerConfig { m: 2, k: 8, w_init_scale: 0.05, ..Default::default() },
+            DiffQuantizerConfig {
+                m: 2,
+                k: 8,
+                w_init_scale: 0.05,
+                ..Default::default()
+            },
             data,
         )
     }
@@ -240,8 +255,18 @@ mod tests {
         let data = toy(100, 1);
         let dq = small_dq(&data);
         let mut rng = SmallRng::seed_from_u64(2);
-        let triplets =
-            vec![Triplet { anchor: 0, pos: 1, neg: 50 }, Triplet { anchor: 3, pos: 4, neg: 70 }];
+        let triplets = vec![
+            Triplet {
+                anchor: 0,
+                pos: 1,
+                neg: 50,
+            },
+            Triplet {
+                anchor: 3,
+                pos: 4,
+                neg: 70,
+            },
+        ];
         let mut t = Tape::new();
         let vars = dq.begin(&mut t);
         let loss = neighborhood_loss(&mut t, &dq, &vars, &data, &triplets, 0.5, 0.5, &mut rng);
@@ -257,8 +282,16 @@ mod tests {
         let dq = small_dq(&data);
         let mut rng = SmallRng::seed_from_u64(4);
         let decisions = vec![
-            RoutingFeature { query: 0, candidates: vec![1, 2, 3, 4], best: 0 },
-            RoutingFeature { query: 5, candidates: vec![10, 11, 12, 13], best: 2 },
+            RoutingFeature {
+                query: 0,
+                candidates: vec![1, 2, 3, 4],
+                best: 0,
+            },
+            RoutingFeature {
+                query: 5,
+                candidates: vec![10, 11, 12, 13],
+                best: 2,
+            },
         ];
         let mut t = Tape::new();
         let vars = dq.begin(&mut t);
@@ -281,9 +314,16 @@ mod tests {
         let dq = small_dq(&data);
         let mut rng = SmallRng::seed_from_u64(6);
         // Query 0; candidate 0's own vector is closest to it (itself!).
-        let aligned = vec![RoutingFeature { query: 0, candidates: vec![0, 40, 60, 80], best: 0 }];
-        let misaligned =
-            vec![RoutingFeature { query: 0, candidates: vec![0, 40, 60, 80], best: 3 }];
+        let aligned = vec![RoutingFeature {
+            query: 0,
+            candidates: vec![0, 40, 60, 80],
+            best: 0,
+        }];
+        let misaligned = vec![RoutingFeature {
+            query: 0,
+            candidates: vec![0, 40, 60, 80],
+            best: 3,
+        }];
         let eval = |feats: &[RoutingFeature], rng: &mut SmallRng| {
             let mut t = Tape::new();
             let vars = dq.begin(&mut t);
@@ -300,7 +340,14 @@ mod tests {
         let mut t = Tape::new();
         let a = t.constant(Matrix::from_vec(1, 1, vec![2.0]));
         let b = t.constant(Matrix::from_vec(1, 1, vec![3.0]));
-        let c = combine(&mut t, LossWeighting::Fixed(0.5), Some(a), Some(b), None, None);
+        let c = combine(
+            &mut t,
+            LossWeighting::Fixed(0.5),
+            Some(a),
+            Some(b),
+            None,
+            None,
+        );
         assert!((t.value(c)[(0, 0)] - 3.5).abs() < 1e-6);
     }
 
@@ -311,7 +358,14 @@ mod tests {
         let b = t.constant(Matrix::from_vec(1, 1, vec![3.0]));
         let s1 = t.param(Matrix::zeros(1, 1));
         let s2 = t.param(Matrix::zeros(1, 1));
-        let c = combine(&mut t, LossWeighting::Uncertainty, Some(a), Some(b), Some(s1), Some(s2));
+        let c = combine(
+            &mut t,
+            LossWeighting::Uncertainty,
+            Some(a),
+            Some(b),
+            Some(s1),
+            Some(s2),
+        );
         // e^0·2 + 0 + e^0·3 + 0 = 5
         assert!((t.value(c)[(0, 0)] - 5.0).abs() < 1e-5);
         let grads = t.backward(c);

@@ -20,9 +20,9 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rpq_autodiff::{Tape, Var};
+use rpq_data::Dataset;
 use rpq_linalg::{cayley, expm, Matrix};
 use rpq_quant::{Codebook, OptimizedProductQuantizer, PqConfig, ProductQuantizer};
-use rpq_data::Dataset;
 
 /// How the orthonormal rotation is parameterised from the skew matrix
 /// `A = W − Wᵀ`. The paper uses the matrix exponential; the Cayley
@@ -65,7 +65,15 @@ pub struct DiffQuantizerConfig {
 
 impl Default for DiffQuantizerConfig {
     fn default() -> Self {
-        Self { m: 8, k: 256, tau_assign: 0.1, w_init_scale: 0.0, init_train_size: 20_000, rotation: RotationParam::default(), seed: 0 }
+        Self {
+            m: 8,
+            k: 256,
+            tau_assign: 0.1,
+            w_init_scale: 0.0,
+            init_train_size: 20_000,
+            rotation: RotationParam::default(),
+            seed: 0,
+        }
     }
 }
 
@@ -102,7 +110,13 @@ impl DiffQuantizer {
         let codebooks = (0..cfg.m)
             .map(|j| Matrix::from_vec(codebook.k(), dsub, codebook.sub_codebook(j).to_vec()))
             .collect();
-        Self { cfg, w: Matrix::zeros(d, d), codebooks, dim: d, dsub }
+        Self {
+            cfg,
+            w: Matrix::zeros(d, d),
+            codebooks,
+            dim: d,
+            dsub,
+        }
     }
 
     /// Initialises with `R ≈ I` (or a small random skew) and codebooks from
@@ -110,7 +124,11 @@ impl DiffQuantizer {
     /// refines.
     pub fn init(cfg: DiffQuantizerConfig, data: &Dataset) -> Self {
         let d = data.dim();
-        assert!(cfg.m > 0 && d.is_multiple_of(cfg.m), "M = {} must divide the dimension {d}", cfg.m);
+        assert!(
+            cfg.m > 0 && d.is_multiple_of(cfg.m),
+            "M = {} must divide the dimension {d}",
+            cfg.m
+        );
         let dsub = d / cfg.m;
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let w = if cfg.w_init_scale > 0.0 {
@@ -133,7 +151,13 @@ impl DiffQuantizer {
         let codebooks = (0..cfg.m)
             .map(|j| Matrix::from_vec(k_eff, dsub, cb.sub_codebook(j).to_vec()))
             .collect();
-        Self { cfg, w, codebooks, dim: d, dsub }
+        Self {
+            cfg,
+            w,
+            codebooks,
+            dim: d,
+            dsub,
+        }
     }
 
     /// Input dimensionality.
@@ -162,7 +186,11 @@ impl DiffQuantizer {
         };
         let rot_t = t.transpose(r);
         let codebooks = self.codebooks.iter().map(|c| t.param(c.clone())).collect();
-        QuantizerVars { w, codebooks, rot_t }
+        QuantizerVars {
+            w,
+            codebooks,
+            rot_t,
+        }
     }
 
     /// Rotates a constant batch on the tape: `X · Rᵀ`.
@@ -285,7 +313,11 @@ mod tests {
 
     fn small_quantizer(data: &Dataset) -> DiffQuantizer {
         DiffQuantizer::init(
-            DiffQuantizerConfig { m: 4, k: 16, ..Default::default() },
+            DiffQuantizerConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
             data,
         )
     }
@@ -311,7 +343,12 @@ mod tests {
         let q = DiffQuantizer::init(
             // Sharp assignment distribution so sampled Gumbel argmax ==
             // argmin distance with high probability.
-            DiffQuantizerConfig { m: 4, k: 16, tau_assign: 0.02, ..Default::default() },
+            DiffQuantizerConfig {
+                m: 4,
+                k: 16,
+                tau_assign: 0.02,
+                ..Default::default()
+            },
             &data,
         );
         let mut rng = SmallRng::seed_from_u64(3);
@@ -343,7 +380,12 @@ mod tests {
     fn quantize_is_differentiable_wrt_all_params() {
         let data = toy(200, 8, 3);
         let q = DiffQuantizer::init(
-            DiffQuantizerConfig { m: 2, k: 8, w_init_scale: 0.1, ..Default::default() },
+            DiffQuantizerConfig {
+                m: 2,
+                k: 8,
+                w_init_scale: 0.1,
+                ..Default::default()
+            },
             &data,
         );
         let mut rng = SmallRng::seed_from_u64(4);
@@ -358,7 +400,9 @@ mod tests {
         let gw = grads.get(vars.w).unwrap();
         assert!(gw.frob_norm() > 0.0, "zero gradient for W");
         for (j, &cv) in vars.codebooks.iter().enumerate() {
-            let g = grads.get(cv).unwrap_or_else(|| panic!("no grad for codebook {j}"));
+            let g = grads
+                .get(cv)
+                .unwrap_or_else(|| panic!("no grad for codebook {j}"));
             assert!(g.frob_norm() > 0.0, "zero gradient for codebook {j}");
         }
     }
@@ -388,6 +432,12 @@ mod tests {
     #[should_panic(expected = "must divide the dimension")]
     fn bad_m_rejected() {
         let data = toy(50, 10, 7);
-        let _ = DiffQuantizer::init(DiffQuantizerConfig { m: 3, ..Default::default() }, &data);
+        let _ = DiffQuantizer::init(
+            DiffQuantizerConfig {
+                m: 3,
+                ..Default::default()
+            },
+            &data,
+        );
     }
 }

@@ -244,10 +244,19 @@ pub fn train_rpq(
     }
     let mut lr_scales = vec![1.0f32; sizes.len()];
     lr_scales[0] = cfg.w_lr_scale;
-    let mut adam =
-        Adam::with_lr_scales(AdamConfig { lr: cfg.lr, ..Default::default() }, &sizes, &lr_scales);
+    let mut adam = Adam::with_lr_scales(
+        AdamConfig {
+            lr: cfg.lr,
+            ..Default::default()
+        },
+        &sizes,
+        &lr_scales,
+    );
     let total_steps = (cfg.epochs * cfg.steps_per_epoch).max(1);
-    let sched = OneCycleLr { max_lr: cfg.lr, ..OneCycleLr::paper_defaults(total_steps) };
+    let sched = OneCycleLr {
+        max_lr: cfg.lr,
+        ..OneCycleLr::paper_defaults(total_steps)
+    };
     let mut s1 = Matrix::zeros(1, 1);
     let mut s2 = Matrix::zeros(1, 1);
 
@@ -272,12 +281,8 @@ pub fn train_rpq(
             } else {
                 let exported = dq.export_pq(0.0);
                 let codes = exported.encode_dataset(data);
-                let feats = sample_routing_features(
-                    graph,
-                    data,
-                    &|q| exported.estimator(&codes, q),
-                    &rcfg,
-                );
+                let feats =
+                    sample_routing_features(graph, data, &|q| exported.estimator(&codes, q), &rcfg);
                 feats
             };
             decisions_sampled += feats.len();
@@ -329,18 +334,28 @@ pub fn train_rpq(
             let vs1 = uncertainty.then(|| t.param(s1.clone()));
             let vs2 = uncertainty.then(|| t.param(s2.clone()));
             let l_n = (!trip_batch.is_empty()).then(|| {
-                neighborhood_loss(&mut t, &dq, &vars, data, trip_batch, cfg.sigma, tau_g, &mut rng)
+                neighborhood_loss(
+                    &mut t, &dq, &vars, data, trip_batch, cfg.sigma, tau_g, &mut rng,
+                )
             });
             let l_r = (!dec_batch.is_empty()).then(|| {
-                routing_loss(&mut t, &dq, &vars, data, dec_batch, cfg.tau_route, tau_g, &mut rng)
+                routing_loss(
+                    &mut t,
+                    &dq,
+                    &vars,
+                    data,
+                    dec_batch,
+                    cfg.tau_route,
+                    tau_g,
+                    &mut rng,
+                )
             });
             let mut loss = combine(&mut t, cfg.weighting, l_r, l_n, vs1, vs2);
             if cfg.lambda_recon > 0.0 {
                 let ids: Vec<u32> = (0..32)
                     .map(|_| rng.gen_range(0..data.len()) as u32)
                     .collect();
-                let l_rec =
-                    reconstruction_loss(&mut t, &dq, &vars, data, &ids, tau_g, &mut rng);
+                let l_rec = reconstruction_loss(&mut t, &dq, &vars, data, &ids, tau_g, &mut rng);
                 let weighted = t.scale(l_rec, cfg.lambda_recon);
                 loss = t.add(loss, weighted);
             }
@@ -352,8 +367,11 @@ pub fn train_rpq(
             step_idx += 1;
             // Assemble (param, grad) pairs in the same order as `sizes`.
             let gw = grads.get(vars.w).cloned();
-            let gcb: Vec<Option<Matrix>> =
-                vars.codebooks.iter().map(|&c| grads.get(c).cloned()).collect();
+            let gcb: Vec<Option<Matrix>> = vars
+                .codebooks
+                .iter()
+                .map(|&c| grads.get(c).cloned())
+                .collect();
             let gs1 = vs1.and_then(|v| grads.get(v).cloned());
             let gs2 = vs2.and_then(|v| grads.get(v).cloned());
             let mut updates: Vec<(&mut Matrix, Option<&Matrix>)> = Vec::with_capacity(sizes.len());
@@ -367,7 +385,11 @@ pub fn train_rpq(
             }
             adam.step(&mut updates);
         }
-        epoch_losses.push(if counted > 0 { epoch_loss / counted as f32 } else { 0.0 });
+        epoch_losses.push(if counted > 0 {
+            epoch_loss / counted as f32
+        } else {
+            0.0
+        });
     }
 
     let seconds = start.elapsed().as_secs_f32();
@@ -383,8 +405,11 @@ pub fn train_rpq(
             None => learned,
         }
     };
-    let compressor =
-        RpqCompressor { inner, label: cfg.mode.label().to_string(), model_bytes };
+    let compressor = RpqCompressor {
+        inner,
+        label: cfg.mode.label().to_string(),
+        model_bytes,
+    };
     let stats = TrainStats {
         seconds,
         epoch_losses,
@@ -397,7 +422,12 @@ pub fn train_rpq(
 /// Root-mean-square of all entries (the global value scale).
 fn data_rms(data: &Dataset) -> f32 {
     let n = data.as_flat().len().max(1);
-    let ms = data.as_flat().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / n as f64;
+    let ms = data
+        .as_flat()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        / n as f64;
     (ms.sqrt() as f32).max(1e-6)
 }
 
@@ -421,19 +451,32 @@ mod tests {
             transform: ValueTransform::Identity,
         }
         .generate(n, seed);
-        let graph = VamanaConfig { r: 8, l: 24, ..Default::default() }.build(&data);
+        let graph = VamanaConfig {
+            r: 8,
+            l: 24,
+            ..Default::default()
+        }
+        .build(&data);
         (data, graph)
     }
 
     fn fast_cfg(mode: TrainingMode) -> RpqTrainerConfig {
         RpqTrainerConfig {
-            quantizer: DiffQuantizerConfig { m: 4, k: 16, ..Default::default() },
+            quantizer: DiffQuantizerConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
             mode,
             epochs: 2,
             steps_per_epoch: 6,
             triplet_batch: 16,
             decision_batch: 6,
-            routing_sampler: RoutingSamplerConfig { n_queries: 6, h: 6, ..Default::default() },
+            routing_sampler: RoutingSamplerConfig {
+                n_queries: 6,
+                h: 6,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -494,7 +537,10 @@ mod tests {
             }
         }
         assert!(moved > 1e-4, "rotation never moved: {moved}");
-        assert!(rpq_linalg::is_orthonormal(rot, 1e-2), "rotation must stay orthonormal");
+        assert!(
+            rpq_linalg::is_orthonormal(rot, 1e-2),
+            "rotation must stay orthonormal"
+        );
     }
 
     #[test]

@@ -16,20 +16,31 @@ impl Dataset {
     /// Creates an empty dataset of dimension `dim` (must be non-zero).
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Self { dim, data: Vec::new() }
+        Self {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Creates an empty dataset with capacity for `n` vectors.
     pub fn with_capacity(dim: usize, n: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Self { dim, data: Vec::with_capacity(dim * n) }
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
     }
 
     /// Builds a dataset from a flat buffer. Panics if the buffer length is
     /// not a multiple of `dim`.
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        assert_eq!(data.len() % dim, 0, "flat buffer length {} not a multiple of dim {dim}", data.len());
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "flat buffer length {} not a multiple of dim {dim}",
+            data.len()
+        );
         Self { dim, data }
     }
 
@@ -41,7 +52,11 @@ impl Dataset {
     /// Returns the rows `[r0, r1)` as a matrix (useful for batched autodiff).
     pub fn to_matrix(&self, r0: usize, r1: usize) -> Matrix {
         assert!(r0 <= r1 && r1 <= self.len(), "row range out of bounds");
-        Matrix::from_vec(r1 - r0, self.dim, self.data[r0 * self.dim..r1 * self.dim].to_vec())
+        Matrix::from_vec(
+            r1 - r0,
+            self.dim,
+            self.data[r0 * self.dim..r1 * self.dim].to_vec(),
+        )
     }
 
     /// Vector dimensionality.
@@ -65,7 +80,11 @@ impl Dataset {
     /// The `i`-th vector.
     #[inline]
     pub fn get(&self, i: usize) -> &[f32] {
-        debug_assert!(i < self.len(), "index {i} out of bounds ({} vectors)", self.len());
+        debug_assert!(
+            i < self.len(),
+            "index {i} out of bounds ({} vectors)",
+            self.len()
+        );
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
 
@@ -78,7 +97,13 @@ impl Dataset {
 
     /// Appends a vector. Panics if the dimension does not match.
     pub fn push(&mut self, v: &[f32]) {
-        assert_eq!(v.len(), self.dim, "pushed vector has dim {}, dataset has {}", v.len(), self.dim);
+        assert_eq!(
+            v.len(),
+            self.dim,
+            "pushed vector has dim {}, dataset has {}",
+            v.len(),
+            self.dim
+        );
         self.data.extend_from_slice(v);
     }
 
@@ -109,7 +134,11 @@ impl Dataset {
     /// Splits off the first `n_head` vectors into one dataset and the rest
     /// into another (a deterministic train/query split helper).
     pub fn split_at(&self, n_head: usize) -> (Dataset, Dataset) {
-        assert!(n_head <= self.len(), "split point {n_head} beyond {} vectors", self.len());
+        assert!(
+            n_head <= self.len(),
+            "split point {n_head} beyond {} vectors",
+            self.len()
+        );
         let head = Dataset::from_flat(self.dim, self.data[..n_head * self.dim].to_vec());
         let tail = Dataset::from_flat(self.dim, self.data[n_head * self.dim..].to_vec());
         (head, tail)

@@ -137,14 +137,20 @@ mod tests {
 
     #[test]
     fn partial_recall() {
-        let gt = GroundTruth { k: 4, neighbors: vec![vec![0, 1, 2, 3]] };
+        let gt = GroundTruth {
+            k: 4,
+            neighbors: vec![vec![0, 1, 2, 3]],
+        };
         let recall = gt.recall(&[vec![0, 1, 9, 8]]);
         assert!((recall - 0.5).abs() < 1e-6);
     }
 
     #[test]
     fn recall_ignores_result_order() {
-        let gt = GroundTruth { k: 3, neighbors: vec![vec![5, 6, 7]] };
+        let gt = GroundTruth {
+            k: 3,
+            neighbors: vec![vec![5, 6, 7]],
+        };
         assert_eq!(gt.recall(&[vec![7, 5, 6]]), 1.0);
     }
 

@@ -18,11 +18,20 @@ use crate::dataset::Dataset;
 pub enum VecsError {
     Io(io::Error),
     /// The file ended in the middle of a vector record.
-    Truncated { offset: usize },
+    Truncated {
+        offset: usize,
+    },
     /// A vector header declared an implausible dimension.
-    BadDimension { dim: i32, offset: usize },
+    BadDimension {
+        dim: i32,
+        offset: usize,
+    },
     /// Vectors in one file must share a dimension.
-    MixedDimensions { first: usize, got: usize, offset: usize },
+    MixedDimensions {
+        first: usize,
+        got: usize,
+        offset: usize,
+    },
 }
 
 impl std::fmt::Display for VecsError {
@@ -34,7 +43,10 @@ impl std::fmt::Display for VecsError {
                 write!(f, "implausible dimension {dim} at byte {offset}")
             }
             VecsError::MixedDimensions { first, got, offset } => {
-                write!(f, "mixed dimensions: first {first}, then {got} at byte {offset}")
+                write!(
+                    f,
+                    "mixed dimensions: first {first}, then {got} at byte {offset}"
+                )
             }
         }
     }
@@ -50,7 +62,12 @@ impl From<io::Error> for VecsError {
 
 const MAX_DIM: i32 = 1 << 20;
 
-fn parse_vecs(bytes: &[u8], elem_size: usize, mut emit: impl FnMut(&[u8]) -> f32, limit: Option<usize>) -> Result<Dataset, VecsError> {
+fn parse_vecs(
+    bytes: &[u8],
+    elem_size: usize,
+    mut emit: impl FnMut(&[u8]) -> f32,
+    limit: Option<usize>,
+) -> Result<Dataset, VecsError> {
     let mut offset = 0usize;
     let mut dim: Option<usize> = None;
     let mut data: Vec<f32> = Vec::new();
@@ -72,7 +89,11 @@ fn parse_vecs(bytes: &[u8], elem_size: usize, mut emit: impl FnMut(&[u8]) -> f32
         match dim {
             None => dim = Some(d),
             Some(first) if first != d => {
-                return Err(VecsError::MixedDimensions { first, got: d, offset })
+                return Err(VecsError::MixedDimensions {
+                    first,
+                    got: d,
+                    offset,
+                })
             }
             _ => {}
         }
@@ -100,7 +121,12 @@ pub fn read_fvecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Datase
 
 /// Parses `fvecs` from an in-memory buffer.
 pub fn parse_fvecs_bytes(bytes: &[u8], limit: Option<usize>) -> Result<Dataset, VecsError> {
-    parse_vecs(bytes, 4, |c| f32::from_le_bytes(c.try_into().unwrap()), limit)
+    parse_vecs(
+        bytes,
+        4,
+        |c| f32::from_le_bytes(c.try_into().unwrap()),
+        limit,
+    )
 }
 
 /// Reads a `bvecs` file (byte vectors, e.g. BigANN), widening to `f32`.
@@ -116,11 +142,22 @@ pub fn parse_bvecs_bytes(bytes: &[u8], limit: Option<usize>) -> Result<Dataset, 
 }
 
 /// Reads an `ivecs` file (e.g. ground-truth indices) as rows of `i32`.
-pub fn read_ivecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Vec<Vec<u32>>, VecsError> {
+pub fn read_ivecs(
+    path: impl AsRef<Path>,
+    limit: Option<usize>,
+) -> Result<Vec<Vec<u32>>, VecsError> {
     let mut bytes = Vec::new();
     BufReader::new(File::open(path)?).read_to_end(&mut bytes)?;
-    let ds = parse_vecs(&bytes, 4, |c| i32::from_le_bytes(c.try_into().unwrap()) as f32, limit)?;
-    Ok(ds.iter().map(|row| row.iter().map(|&v| v as u32).collect()).collect())
+    let ds = parse_vecs(
+        &bytes,
+        4,
+        |c| i32::from_le_bytes(c.try_into().unwrap()) as f32,
+        limit,
+    )?;
+    Ok(ds
+        .iter()
+        .map(|row| row.iter().map(|&v| v as u32).collect())
+        .collect())
 }
 
 /// Writes a dataset as `fvecs`.
@@ -205,7 +242,9 @@ mod tests {
         bytes.extend_from_slice(&1.0f32.to_le_bytes());
         bytes.extend_from_slice(&2.0f32.to_le_bytes());
         match parse_fvecs_bytes(&bytes, None) {
-            Err(VecsError::MixedDimensions { first: 1, got: 2, .. }) => {}
+            Err(VecsError::MixedDimensions {
+                first: 1, got: 2, ..
+            }) => {}
             other => panic!("expected MixedDimensions, got {other:?}"),
         }
     }

@@ -92,7 +92,10 @@ mod tests {
         let high = gaussian_config(32, 20).generate(2000, 2);
         let lid_low = estimate_lid(&low, 100, 20, 0).unwrap();
         let lid_high = estimate_lid(&high, 100, 20, 0).unwrap();
-        assert!(lid_low < lid_high, "lid_low {lid_low} vs lid_high {lid_high}");
+        assert!(
+            lid_low < lid_high,
+            "lid_low {lid_low} vs lid_high {lid_high}"
+        );
         assert!(lid_low > 1.5 && lid_low < 10.0, "lid_low {lid_low}");
         assert!(lid_high > 10.0, "lid_high {lid_high}");
     }

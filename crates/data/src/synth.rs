@@ -39,8 +39,13 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All five, in the order the paper's tables list them.
-    pub const ALL: [DatasetKind; 5] =
-        [DatasetKind::BigAnn, DatasetKind::Deep, DatasetKind::Gist, DatasetKind::Sift, DatasetKind::Ukbench];
+    pub const ALL: [DatasetKind; 5] = [
+        DatasetKind::BigAnn,
+        DatasetKind::Deep,
+        DatasetKind::Gist,
+        DatasetKind::Sift,
+        DatasetKind::Ukbench,
+    ];
 
     /// Human-readable name matching the paper's tables.
     pub fn name(&self) -> &'static str {
@@ -62,7 +67,10 @@ impl DatasetKind {
                 clusters: 64,
                 cluster_std: 1.0,
                 noise_std: 0.08,
-                transform: ValueTransform::ByteQuantised { scale: 24.0, offset: 60.0 },
+                transform: ValueTransform::ByteQuantised {
+                    scale: 24.0,
+                    offset: 60.0,
+                },
             },
             DatasetKind::Deep => SynthConfig {
                 dim: 96,
@@ -86,7 +94,10 @@ impl DatasetKind {
                 clusters: 96,
                 cluster_std: 1.0,
                 noise_std: 0.05,
-                transform: ValueTransform::NonNegative { scale: 20.0, offset: 50.0 },
+                transform: ValueTransform::NonNegative {
+                    scale: 20.0,
+                    offset: 50.0,
+                },
             },
         }
     }
@@ -136,8 +147,14 @@ pub struct SynthConfig {
 impl SynthConfig {
     /// Generates `n` vectors.
     pub fn generate(&self, n: usize, seed: u64) -> Dataset {
-        assert!(self.dim > 0 && self.intrinsic_dim > 0, "dimensions must be positive");
-        assert!(self.intrinsic_dim <= self.dim, "intrinsic_dim must be <= dim");
+        assert!(
+            self.dim > 0 && self.intrinsic_dim > 0,
+            "dimensions must be positive"
+        );
+        assert!(
+            self.intrinsic_dim <= self.dim,
+            "intrinsic_dim must be <= dim"
+        );
         assert!(self.clusters > 0, "need at least one cluster");
         let mut rng = SmallRng::seed_from_u64(seed);
         let d = self.dim;
@@ -147,7 +164,11 @@ impl SynthConfig {
         // their internal std.
         let centre_scale = 4.0 * self.cluster_std * (s as f32).sqrt();
         let centres: Vec<Vec<f32>> = (0..self.clusters)
-            .map(|_| (0..d).map(|_| normal(&mut rng) * centre_scale / (d as f32).sqrt()).collect())
+            .map(|_| {
+                (0..d)
+                    .map(|_| normal(&mut rng) * centre_scale / (d as f32).sqrt())
+                    .collect()
+            })
             .collect();
 
         // Per-cluster random subspace bases: `s` random unit directions.
@@ -288,7 +309,10 @@ mod tests {
             nn_sum += best;
             rand_sum += rpq_linalg::distance::sq_l2(ds.get(i), ds.get((i + 97) % ds.len()));
         }
-        assert!(nn_sum * 3.0 < rand_sum, "no cluster structure: nn {nn_sum} vs rand {rand_sum}");
+        assert!(
+            nn_sum * 3.0 < rand_sum,
+            "no cluster structure: nn {nn_sum} vs rand {rand_sum}"
+        );
     }
 
     #[test]

@@ -173,8 +173,10 @@ pub fn beam_search(
         }
     }
 
-    let mut out: Vec<Neighbor> =
-        results.into_iter().map(|Scored(d, id)| Neighbor { id, dist: d }).collect();
+    let mut out: Vec<Neighbor> = results
+        .into_iter()
+        .map(|Scored(d, id)| Neighbor { id, dist: d })
+        .collect();
     out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     out.truncate(k);
     (out, stats)
@@ -209,7 +211,10 @@ pub fn beam_search_recording(
     // Global candidate set b, ascending by distance. `expanded` marks
     // vertices already used as a next hop; `scratch` marks vertices ever
     // inserted into b (so duplicates are never re-scored).
-    let mut b: Vec<Neighbor> = vec![Neighbor { id: entry, dist: est.distance(entry) }];
+    let mut b: Vec<Neighbor> = vec![Neighbor {
+        id: entry,
+        dist: est.distance(entry),
+    }];
     scratch.mark(entry);
     let mut expanded: Vec<u32> = Vec::new();
     let mut decisions = Vec::new();
@@ -217,13 +222,19 @@ pub fn beam_search_recording(
     // v* ← closest vertex in b not yet expanded (Alg. 2 line 6).
     while let Some(pos) = b.iter().position(|n| !expanded.contains(&n.id)) {
         let vstar = b[pos].id;
-        decisions.push(Decision { ranked: b.iter().map(|n| n.id).collect(), chosen: vstar });
+        decisions.push(Decision {
+            ranked: b.iter().map(|n| n.id).collect(),
+            chosen: vstar,
+        });
         expanded.push(vstar);
         for &u in graph.neighbors(vstar) {
             if !scratch.mark(u) {
                 continue;
             }
-            b.push(Neighbor { id: u, dist: est.distance(u) });
+            b.push(Neighbor {
+                id: u,
+                dist: est.distance(u),
+            });
         }
         b.sort_by(|x, y| x.dist.total_cmp(&y.dist).then(x.id.cmp(&y.id)));
         b.truncate(h);
@@ -268,7 +279,11 @@ mod tests {
         assert_eq!(res[0].id, 37);
         assert_eq!(res[1].id, 38);
         assert_eq!(res[2].id, 36);
-        assert!(stats.hops >= 37, "must walk the line, got {} hops", stats.hops);
+        assert!(
+            stats.hops >= 37,
+            "must walk the line, got {} hops",
+            stats.hops
+        );
         assert!(stats.dist_comps >= stats.hops);
     }
 

@@ -178,8 +178,7 @@ mod tests {
             .collect();
         let mut visited = Vec::new();
         let mut touched = Vec::new();
-        let (res, expanded) =
-            search_adj(&adj, &d, &[13.2], 0, 4, &mut visited, &mut touched);
+        let (res, expanded) = search_adj(&adj, &d, &[13.2], 0, 4, &mut visited, &mut touched);
         assert_eq!(res[0].1, 13);
         assert!(expanded.len() >= 13);
     }
@@ -200,7 +199,10 @@ mod tests {
         let sel = robust_prune(0, cands, &data, 1.0, 4);
         assert!(sel.contains(&1), "closest kept");
         assert!(sel.contains(&4), "opposite-direction point kept: {sel:?}");
-        assert!(!sel.contains(&2) && !sel.contains(&3), "dominated dropped: {sel:?}");
+        assert!(
+            !sel.contains(&2) && !sel.contains(&3),
+            "dominated dropped: {sel:?}"
+        );
     }
 
     #[test]

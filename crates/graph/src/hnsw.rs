@@ -28,7 +28,11 @@ pub struct HnswConfig {
 
 impl Default for HnswConfig {
     fn default() -> Self {
-        Self { m: 16, ef_construction: 100, seed: 0 }
+        Self {
+            m: 16,
+            ef_construction: 100,
+            seed: 0,
+        }
     }
 }
 
@@ -75,8 +79,15 @@ impl HnswConfig {
             }
             // Insert into each layer from min(level, top) down to 0.
             for l in (0..=level.min(top_level)).rev() {
-                let (results, _) =
-                    search_adj(&layers[l], data, q, ep, self.ef_construction, &mut visited, &mut touched);
+                let (results, _) = search_adj(
+                    &layers[l],
+                    data,
+                    q,
+                    ep,
+                    self.ef_construction,
+                    &mut visited,
+                    &mut touched,
+                );
                 let cap = if l == 0 { m0 } else { m };
                 let selected = select_heuristic(&results, data, m);
                 for &s in &selected {
@@ -137,7 +148,9 @@ fn select_heuristic(candidates: &[Scored], data: &Dataset, m: usize) -> Vec<u32>
             break;
         }
         let cv = data.get(c as usize);
-        let ok = selected.iter().all(|&s| sq_l2(cv, data.get(s as usize)) >= d_q);
+        let ok = selected
+            .iter()
+            .all(|&s| sq_l2(cv, data.get(s as usize)) >= d_q);
         if ok {
             selected.push(c);
         }
@@ -179,7 +192,12 @@ mod tests {
     #[test]
     fn base_layer_degrees_bounded() {
         let data = toy(300, 1);
-        let g = HnswConfig { m: 8, ef_construction: 40, seed: 0 }.build(&data);
+        let g = HnswConfig {
+            m: 8,
+            ef_construction: 40,
+            seed: 0,
+        }
+        .build(&data);
         assert!(g.max_degree() <= 16, "max degree {}", g.max_degree());
     }
 
@@ -219,8 +237,16 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = toy(150, 4);
-        let a = HnswConfig { seed: 5, ..Default::default() }.build(&data);
-        let b = HnswConfig { seed: 5, ..Default::default() }.build(&data);
+        let a = HnswConfig {
+            seed: 5,
+            ..Default::default()
+        }
+        .build(&data);
+        let b = HnswConfig {
+            seed: 5,
+            ..Default::default()
+        }
+        .build(&data);
         assert_eq!(a, b);
     }
 }

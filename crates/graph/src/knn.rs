@@ -44,7 +44,13 @@ pub struct NnDescentConfig {
 
 impl Default for NnDescentConfig {
     fn default() -> Self {
-        Self { k: 24, max_iters: 12, sample: 40, delta: 0.002, seed: 0 }
+        Self {
+            k: 24,
+            max_iters: 12,
+            sample: 40,
+            delta: 0.002,
+            seed: 0,
+        }
     }
 }
 
@@ -120,8 +126,9 @@ pub fn nn_descent(data: &Dataset, cfg: NnDescentConfig) -> Vec<Vec<u32>> {
             if pool.len() > cfg.sample {
                 // Deterministic thinning keeps the pass reproducible.
                 let stride = pool.len() as f32 / cfg.sample as f32;
-                let thinned: Vec<u32> =
-                    (0..cfg.sample).map(|t| pool[(t as f32 * stride) as usize]).collect();
+                let thinned: Vec<u32> = (0..cfg.sample)
+                    .map(|t| pool[(t as f32 * stride) as usize])
+                    .collect();
                 *pool = thinned;
             }
         }
@@ -234,7 +241,13 @@ mod tests {
     fn nn_descent_recovers_most_true_neighbors() {
         let data = toy_data(600, 3);
         let exact = brute_force_knn_graph(&data, 10);
-        let approx = nn_descent(&data, NnDescentConfig { k: 10, ..Default::default() });
+        let approx = nn_descent(
+            &data,
+            NnDescentConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
         let recall = knn_graph_recall(&approx, &exact);
         assert!(recall > 0.85, "nn-descent recall too low: {recall}");
     }
@@ -242,7 +255,13 @@ mod tests {
     #[test]
     fn nn_descent_no_self_edges_and_bounded() {
         let data = toy_data(120, 4);
-        let g = nn_descent(&data, NnDescentConfig { k: 8, ..Default::default() });
+        let g = nn_descent(
+            &data,
+            NnDescentConfig {
+                k: 8,
+                ..Default::default()
+            },
+        );
         for (i, l) in g.iter().enumerate() {
             assert!(l.len() <= 8);
             assert!(!l.contains(&(i as u32)));
@@ -256,7 +275,13 @@ mod tests {
     #[test]
     fn nn_descent_tiny_dataset() {
         let data = toy_data(3, 5);
-        let g = nn_descent(&data, NnDescentConfig { k: 8, ..Default::default() });
+        let g = nn_descent(
+            &data,
+            NnDescentConfig {
+                k: 8,
+                ..Default::default()
+            },
+        );
         assert!(g.iter().all(|l| l.len() == 2));
     }
 }

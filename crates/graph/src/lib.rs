@@ -21,8 +21,8 @@
 //! navigable small-world graph, and the common entry-vertex abstraction is
 //! what the paper's routing definition assumes.
 
-mod construction;
 pub mod beam;
+mod construction;
 pub mod hnsw;
 pub mod knn;
 pub mod nsg;

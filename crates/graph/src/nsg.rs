@@ -28,7 +28,13 @@ pub struct NsgConfig {
 
 impl Default for NsgConfig {
     fn default() -> Self {
-        Self { r: 32, l: 64, knn_k: 32, brute_force_threshold: 4000, seed: 0 }
+        Self {
+            r: 32,
+            l: 64,
+            knn_k: 32,
+            brute_force_threshold: 4000,
+            seed: 0,
+        }
     }
 }
 
@@ -44,7 +50,14 @@ impl NsgConfig {
         let knn = if n <= self.brute_force_threshold {
             brute_force_knn_graph(data, self.knn_k)
         } else {
-            nn_descent(data, NnDescentConfig { k: self.knn_k, seed: self.seed, ..Default::default() })
+            nn_descent(
+                data,
+                NnDescentConfig {
+                    k: self.knn_k,
+                    seed: self.seed,
+                    ..Default::default()
+                },
+            )
         };
         self.build_from_knn(data, &knn)
     }
@@ -66,7 +79,8 @@ impl NsgConfig {
                 let q = data.get(v as usize);
                 let (results, expanded) =
                     search_adj(knn, data, q, entry, self.l, &mut visited, &mut touched);
-                let mut pool: Vec<(f32, u32)> = Vec::with_capacity(results.len() + expanded.len() + knn[v as usize].len());
+                let mut pool: Vec<(f32, u32)> =
+                    Vec::with_capacity(results.len() + expanded.len() + knn[v as usize].len());
                 pool.extend(results);
                 pool.extend(expanded);
                 for &u in &knn[v as usize] {
@@ -80,7 +94,7 @@ impl NsgConfig {
             .collect();
 
         let mut adj = adj;
-        repair_connectivity(&mut adj, data, knn, entry);
+        repair_connectivity(&mut adj, data, knn, entry, r);
         ProximityGraph::from_adjacency(adj, entry)
     }
 }
@@ -95,8 +109,9 @@ fn mrng_select(v: u32, pool: &[(f32, u32)], data: &Dataset, r: usize) -> Vec<u32
             break;
         }
         let pv = data.get(p as usize);
-        let occluded =
-            selected.iter().any(|&q| sq_l2(pv, data.get(q as usize)) < d_vp);
+        let occluded = selected
+            .iter()
+            .any(|&q| sq_l2(pv, data.get(q as usize)) < d_vp);
         if !occluded {
             selected.push(p);
         }
@@ -107,9 +122,18 @@ fn mrng_select(v: u32, pool: &[(f32, u32)], data: &Dataset, r: usize) -> Vec<u32
 
 /// Makes every vertex reachable from `entry`: repeatedly BFS, then attach
 /// each unreachable vertex from its nearest reachable k-NN neighbor (or
-/// directly from the entry as a last resort).
-fn repair_connectivity(adj: &mut [Vec<u32>], data: &Dataset, knn: &[Vec<u32>], entry: u32) {
+/// directly from the entry as a last resort). Attach points with spare
+/// capacity (< r + 2 edges) are preferred so repair edges spread out instead
+/// of piling onto one boundary hub and blowing the degree bound.
+fn repair_connectivity(
+    adj: &mut [Vec<u32>],
+    data: &Dataset,
+    knn: &[Vec<u32>],
+    entry: u32,
+    r: usize,
+) {
     let n = adj.len();
+    let cap = r + 2;
     loop {
         let mut seen = vec![false; n];
         let mut stack = vec![entry];
@@ -122,26 +146,36 @@ fn repair_connectivity(adj: &mut [Vec<u32>], data: &Dataset, knn: &[Vec<u32>], e
                 }
             }
         }
-        let unreachable: Vec<u32> =
-            (0..n as u32).filter(|&v| !seen[v as usize]).collect();
+        let unreachable: Vec<u32> = (0..n as u32).filter(|&v| !seen[v as usize]).collect();
         if unreachable.is_empty() {
             return;
         }
         let mut progressed = false;
         for &u in &unreachable {
-            // Nearest reachable vertex among u's kNN.
+            // Nearest reachable vertex among u's kNN, preferring vertices
+            // that still have repair capacity.
             let mut best: Option<(f32, u32)> = None;
+            let mut best_full: Option<(f32, u32)> = None;
             for &c in &knn[u as usize] {
                 if seen[c as usize] {
                     let d = sq_l2(data.get(u as usize), data.get(c as usize));
-                    if best.map(|(bd, _)| d < bd).unwrap_or(true) {
-                        best = Some((d, c));
+                    let slot = if adj[c as usize].len() < cap {
+                        &mut best
+                    } else {
+                        &mut best_full
+                    };
+                    if slot.map(|(bd, _)| d < bd).unwrap_or(true) {
+                        *slot = Some((d, c));
                     }
                 }
             }
-            if let Some((_, c)) = best {
+            if let Some((_, c)) = best.or(best_full) {
                 if !adj[c as usize].contains(&u) {
                     adj[c as usize].push(u);
+                    // Mark immediately so later repairs in this pass can
+                    // chain through `u` instead of all funnelling into the
+                    // same boundary vertices.
+                    seen[u as usize] = true;
                     progressed = true;
                 }
             }
@@ -180,7 +214,11 @@ mod tests {
     #[test]
     fn degrees_bounded() {
         let data = toy(300, 1);
-        let g = NsgConfig { r: 10, ..Default::default() }.build(&data);
+        let g = NsgConfig {
+            r: 10,
+            ..Default::default()
+        }
+        .build(&data);
         // +slack for connectivity-repair edges
         assert!(g.max_degree() <= 14, "max degree {}", g.max_degree());
     }

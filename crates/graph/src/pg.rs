@@ -17,7 +17,10 @@ impl ProximityGraph {
     pub fn from_adjacency(adj: Vec<Vec<u32>>, entry: u32) -> Self {
         let n = adj.len();
         assert!(n > 0, "graph must have at least one vertex");
-        assert!((entry as usize) < n, "entry {entry} out of range ({n} vertices)");
+        assert!(
+            (entry as usize) < n,
+            "entry {entry} out of range ({n} vertices)"
+        );
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0u64);
         let total: usize = adj.iter().map(Vec::len).sum();
@@ -30,7 +33,11 @@ impl ProximityGraph {
             }
             offsets.push(neighbors.len() as u64);
         }
-        Self { offsets, neighbors, entry }
+        Self {
+            offsets,
+            neighbors,
+            entry,
+        }
     }
 
     /// Number of vertices.
@@ -72,7 +79,10 @@ impl ProximityGraph {
 
     /// Maximum out-degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.len()).map(|v| self.neighbors(v as u32).len()).max().unwrap_or(0)
+        (0..self.len())
+            .map(|v| self.neighbors(v as u32).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Approximate in-memory footprint in bytes (what the in-memory
@@ -174,11 +184,18 @@ impl ProximityGraph {
             r.read_exact(&mut b4)?;
             let nb = u32::from_le_bytes(b4);
             if nb as usize >= n {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "neighbor out of range"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "neighbor out of range",
+                ));
             }
             neighbors.push(nb);
         }
-        Ok(Self { offsets, neighbors, entry })
+        Ok(Self {
+            offsets,
+            neighbors,
+            entry,
+        })
     }
 }
 

@@ -33,7 +33,13 @@ pub struct VamanaConfig {
 
 impl Default for VamanaConfig {
     fn default() -> Self {
-        Self { r: 32, l: 64, alpha: 1.2, batch: 512, seed: 0 }
+        Self {
+            r: 32,
+            l: 64,
+            alpha: 1.2,
+            batch: 512,
+            seed: 0,
+        }
     }
 }
 
@@ -139,7 +145,12 @@ mod tests {
     #[test]
     fn degrees_bounded_by_r() {
         let data = toy(300, 1);
-        let g = VamanaConfig { r: 12, l: 32, ..Default::default() }.build(&data);
+        let g = VamanaConfig {
+            r: 12,
+            l: 32,
+            ..Default::default()
+        }
+        .build(&data);
         assert!(g.max_degree() <= 12, "max degree {}", g.max_degree());
     }
 
@@ -182,8 +193,16 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = toy(150, 4);
-        let a = VamanaConfig { seed: 9, ..Default::default() }.build(&data);
-        let b = VamanaConfig { seed: 9, ..Default::default() }.build(&data);
+        let a = VamanaConfig {
+            seed: 9,
+            ..Default::default()
+        }
+        .build(&data);
+        let b = VamanaConfig {
+            seed: 9,
+            ..Default::default()
+        }
+        .build(&data);
         assert_eq!(a, b);
     }
 }

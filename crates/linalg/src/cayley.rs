@@ -180,7 +180,10 @@ mod tests {
                 .map(|(x, y)| x * y)
                 .sum();
             let an: f32 = grad.data.iter().zip(&e.data).map(|(x, y)| x * y).sum();
-            assert!((fd - an).abs() < 2e-2 * fd.abs().max(1.0), "fd {fd} vs an {an}");
+            assert!(
+                (fd - an).abs() < 2e-2 * fd.abs().max(1.0),
+                "fd {fd} vs an {an}"
+            );
         }
     }
 }

@@ -88,7 +88,10 @@ pub fn qr(a: &Matrix) -> (Matrix, Matrix) {
     let q_out = Matrix {
         rows: m,
         cols: n,
-        data: (0..m).flat_map(|i| (0..n).map(move |j| (i, j))).map(|(i, j)| q[i * m + j] as f32).collect(),
+        data: (0..m)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .map(|(i, j)| q[i * m + j] as f32)
+            .collect(),
     };
     let mut r_out = Matrix::zeros(n, n);
     for i in 0..n {
@@ -235,7 +238,10 @@ pub fn svd(a: &Matrix) -> Svd {
     // Singular values = column norms; normalise U columns.
     let mut sv: Vec<(f64, usize)> = (0..n)
         .map(|j| {
-            let norm: f64 = (0..m).map(|i| u[j * m + i] * u[j * m + i]).sum::<f64>().sqrt();
+            let norm: f64 = (0..m)
+                .map(|i| u[j * m + i] * u[j * m + i])
+                .sum::<f64>()
+                .sqrt();
             (norm, j)
         })
         .collect();
@@ -253,7 +259,11 @@ pub fn svd(a: &Matrix) -> Svd {
             v_out[(i, dst)] = v[src * n + i] as f32;
         }
     }
-    Svd { u: u_out, sigma, v: v_out }
+    Svd {
+        u: u_out,
+        sigma,
+        v: v_out,
+    }
 }
 
 /// Solves the orthogonal Procrustes problem: the orthonormal `R` minimising
@@ -262,7 +272,10 @@ pub fn svd(a: &Matrix) -> Svd {
 /// `g` must be the `d×d` correlation matrix `Xᵀ Y`. This is the update OPQ's
 /// non-parametric alternation performs each round.
 pub fn procrustes(g: &Matrix) -> Matrix {
-    assert_eq!(g.rows, g.cols, "procrustes expects a square correlation matrix");
+    assert_eq!(
+        g.rows, g.cols,
+        "procrustes expects a square correlation matrix"
+    );
     let Svd { u, v, .. } = svd(g);
     u.matmul(&v.transpose())
 }

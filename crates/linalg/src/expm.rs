@@ -31,12 +31,18 @@ struct Mat64 {
 
 impl Mat64 {
     fn zeros(n: usize) -> Self {
-        Self { n, d: vec![0.0; n * n] }
+        Self {
+            n,
+            d: vec![0.0; n * n],
+        }
     }
 
     fn from_f32(m: &Matrix) -> Self {
         assert_eq!(m.rows, m.cols, "expm requires a square matrix");
-        Self { n: m.rows, d: m.data.iter().map(|&v| v as f64).collect() }
+        Self {
+            n: m.rows,
+            d: m.data.iter().map(|&v| v as f64).collect(),
+        }
     }
 
     fn to_f32(&self) -> Matrix {
@@ -68,19 +74,31 @@ impl Mat64 {
     }
 
     fn add(&self, o: &Mat64) -> Mat64 {
-        Mat64 { n: self.n, d: self.d.iter().zip(&o.d).map(|(a, b)| a + b).collect() }
+        Mat64 {
+            n: self.n,
+            d: self.d.iter().zip(&o.d).map(|(a, b)| a + b).collect(),
+        }
     }
 
     fn sub(&self, o: &Mat64) -> Mat64 {
-        Mat64 { n: self.n, d: self.d.iter().zip(&o.d).map(|(a, b)| a - b).collect() }
+        Mat64 {
+            n: self.n,
+            d: self.d.iter().zip(&o.d).map(|(a, b)| a - b).collect(),
+        }
     }
 
     fn scale(&self, s: f64) -> Mat64 {
-        Mat64 { n: self.n, d: self.d.iter().map(|v| v * s).collect() }
+        Mat64 {
+            n: self.n,
+            d: self.d.iter().map(|v| v * s).collect(),
+        }
     }
 
     fn add_scaled_identity(&self, s: f64) -> Mat64 {
-        let mut out = Mat64 { n: self.n, d: self.d.clone() };
+        let mut out = Mat64 {
+            n: self.n,
+            d: self.d.clone(),
+        };
         for i in 0..self.n {
             out.d[i * self.n + i] += s;
         }
@@ -167,7 +185,11 @@ const PADE13: [f64; 14] = [
 fn expm64(a: &Mat64) -> Mat64 {
     let theta13 = 5.371920351148152f64;
     let norm = a.norm_1();
-    let s = if norm > theta13 { (norm / theta13).log2().ceil().max(0.0) as u32 } else { 0 };
+    let s = if norm > theta13 {
+        (norm / theta13).log2().ceil().max(0.0) as u32
+    } else {
+        0
+    };
     let a = a.scale(1.0 / f64::powi(2.0, s as i32));
     let b = &PADE13;
     let a2 = a.matmul(&a);
@@ -175,11 +197,19 @@ fn expm64(a: &Mat64) -> Mat64 {
     let a6 = a2.matmul(&a4);
     // U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
     let w1 = a6.scale(b[13]).add(&a4.scale(b[11])).add(&a2.scale(b[9]));
-    let w2 = a6.scale(b[7]).add(&a4.scale(b[5])).add(&a2.scale(b[3])).add_scaled_identity(b[1]);
+    let w2 = a6
+        .scale(b[7])
+        .add(&a4.scale(b[5]))
+        .add(&a2.scale(b[3]))
+        .add_scaled_identity(b[1]);
     let u = a.matmul(&a6.matmul(&w1).add(&w2));
     // V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
     let z1 = a6.scale(b[12]).add(&a4.scale(b[10])).add(&a2.scale(b[8]));
-    let z2 = a6.scale(b[6]).add(&a4.scale(b[4])).add(&a2.scale(b[2])).add_scaled_identity(b[0]);
+    let z2 = a6
+        .scale(b[6])
+        .add(&a4.scale(b[4]))
+        .add(&a2.scale(b[2]))
+        .add_scaled_identity(b[0]);
     let v = a6.matmul(&z1).add(&z2);
     // R = (V - U)^{-1} (V + U), then square s times.
     let mut r = v.sub(&u).solve(&v.add(&u));
@@ -292,7 +322,9 @@ mod tests {
         let e = Matrix::random_uniform(5, 5, 1.0, &mut rng);
         let (_, l) = expm_frechet(&a, &e);
         let h = 1e-3f32;
-        let fd = expm(&a.add(&e.scale(h))).sub(&expm(&a.sub(&e.scale(h)))).scale(0.5 / h);
+        let fd = expm(&a.add(&e.scale(h)))
+            .sub(&expm(&a.sub(&e.scale(h))))
+            .scale(0.5 / h);
         for (x, y) in l.data.iter().zip(&fd.data) {
             assert!((x - y).abs() < 5e-3, "{x} vs {y}");
         }
@@ -310,7 +342,10 @@ mod tests {
             let adj = expm_vjp(&a, &g);
             let lhs: f32 = l.data.iter().zip(&g.data).map(|(x, y)| x * y).sum();
             let rhs: f32 = e.data.iter().zip(&adj.data).map(|(x, y)| x * y).sum();
-            assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+            assert!(
+                (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+                "{lhs} vs {rhs}"
+            );
         }
     }
 }

@@ -29,7 +29,12 @@ impl fmt::Debug for Matrix {
         for i in 0..show {
             let cs = self.cols.min(8);
             let row: Vec<String> = (0..cs).map(|j| format!("{:9.4}", self[(i, j)])).collect();
-            writeln!(f, "  [{}{}]", row.join(", "), if self.cols > cs { ", …" } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                row.join(", "),
+                if self.cols > cs { ", …" } else { "" }
+            )?;
         }
         if self.rows > show {
             writeln!(f, "  …")?;
@@ -41,12 +46,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n×n` identity matrix.
@@ -74,12 +87,23 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Samples a matrix with i.i.d. entries uniform in `[-scale, scale]`.
-    pub fn random_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
-        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+    pub fn random_uniform<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        scale: f32,
+        rng: &mut R,
+    ) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
         Self { rows, cols, data }
     }
 
@@ -213,24 +237,49 @@ impl Matrix {
     /// Scales every element by `s`.
     pub fn scale(&self, s: f32) -> Matrix {
         let data = self.data.iter().map(|v| v * s).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Applies `f` element-wise.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         let data = self.data.iter().map(|&v| f(v)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place `self += other * s`.
     pub fn add_scaled_inplace(&mut self, other: &Matrix, s: f32) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b * s;
         }
@@ -238,7 +287,11 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frob_norm(&self) -> f32 {
-        self.data.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|v| (*v as f64) * (*v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Maximum absolute column sum (induced 1-norm).
@@ -279,7 +332,11 @@ impl Matrix {
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
         for (dst, &src) in indices.iter().enumerate() {
-            assert!(src < self.rows, "gather index {src} out of range ({} rows)", self.rows);
+            assert!(
+                src < self.rows,
+                "gather index {src} out of range ({} rows)",
+                self.rows
+            );
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
         out
@@ -367,7 +424,10 @@ mod tests {
     fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
         a.rows == b.rows
             && a.cols == b.cols
-            && a.data.iter().zip(&b.data).all(|(x, y)| (x - y).abs() <= tol)
+            && a.data
+                .iter()
+                .zip(&b.data)
+                .all(|(x, y)| (x - y).abs() <= tol)
     }
 
     #[test]
@@ -472,7 +532,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         let m = Matrix::random_normal(100, 100, 1.0, &mut rng);
         let mean: f32 = m.data.iter().sum::<f32>() / m.data.len() as f32;
-        let var: f32 = m.data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.data.len() as f32;
+        let var: f32 =
+            m.data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.data.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

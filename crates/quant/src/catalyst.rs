@@ -60,7 +60,11 @@ impl Default for CatalystConfig {
             batch: 128,
             mine_size: 1500,
             k_pos: 10,
-            pq: PqConfig { m: 8, k: 256, ..Default::default() },
+            pq: PqConfig {
+                m: 8,
+                k: 256,
+                ..Default::default()
+            },
             seed: 0,
         }
     }
@@ -85,7 +89,10 @@ impl Catalyst {
     /// Adam, then fits PQ in the embedding space.
     pub fn train(cfg: &CatalystConfig, data: &Dataset) -> Self {
         let start = Instant::now();
-        assert!(!data.is_empty(), "cannot train Catalyst on an empty dataset");
+        assert!(
+            !data.is_empty(),
+            "cannot train Catalyst on an empty dataset"
+        );
         assert_eq!(cfg.d_out % cfg.pq.m, 0, "PQ m must divide d_out");
         let d = data.dim();
         let h = cfg.hidden;
@@ -113,8 +120,14 @@ impl Catalyst {
             })
             .collect();
 
-        let sizes =
-            [w1.data.len(), b1.data.len(), w2.data.len(), b2.data.len(), w3.data.len(), b3.data.len()];
+        let sizes = [
+            w1.data.len(),
+            b1.data.len(),
+            w2.data.len(),
+            b2.data.len(),
+            w3.data.len(),
+            b3.data.len(),
+        ];
         let mut adam = Adam::new(AdamConfig::default(), &sizes);
 
         let steps_per_epoch = (n / cfg.batch.max(1)).max(1);
@@ -207,7 +220,11 @@ impl Catalyst {
         };
         let projected = me.project_dataset(data);
         let pq = ProductQuantizer::train(&cfg.pq, &projected);
-        Self { pq, train_seconds: start.elapsed().as_secs_f32(), ..me }
+        Self {
+            pq,
+            train_seconds: start.elapsed().as_secs_f32(),
+            ..me
+        }
     }
 
     /// Applies the MLP to a row-matrix of vectors.
@@ -318,7 +335,11 @@ mod tests {
             epochs: 2,
             batch: 32,
             mine_size: 200,
-            pq: PqConfig { m: 2, k: 16, ..Default::default() },
+            pq: PqConfig {
+                m: 2,
+                k: 16,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -371,7 +392,10 @@ mod tests {
         cat.decode_into(codes.code(10), &mut rec);
         let expect = rpq_linalg::distance::sq_l2(&qp, &rec);
         let got = lut.distance(codes.code(10));
-        assert!((got - expect).abs() < 1e-2 * expect.max(1.0), "{got} vs {expect}");
+        assert!(
+            (got - expect).abs() < 1e-2 * expect.max(1.0),
+            "{got} vs {expect}"
+        );
     }
 
     #[test]
@@ -386,7 +410,14 @@ mod tests {
     #[should_panic(expected = "m must divide d_out")]
     fn invalid_pq_m_rejected() {
         let data = toy(50, 5);
-        let cfg = CatalystConfig { d_out: 10, pq: PqConfig { m: 4, ..Default::default() }, ..small_cfg() };
+        let cfg = CatalystConfig {
+            d_out: 10,
+            pq: PqConfig {
+                m: 4,
+                ..Default::default()
+            },
+            ..small_cfg()
+        };
         let _ = Catalyst::train(&cfg, &data);
     }
 }

@@ -23,9 +23,21 @@ impl Codebook {
     /// Assembles a codebook from a flat buffer (length must be `m*k*dsub`).
     pub fn new(m: usize, k: usize, dsub: usize, codewords: Vec<f32>) -> Self {
         assert!(m > 0 && k > 0 && dsub > 0, "codebook dims must be positive");
-        assert!(k <= 256, "compact codes are one byte: K must be <= 256, got {k}");
-        assert_eq!(codewords.len(), m * k * dsub, "codeword buffer size mismatch");
-        Self { m, k, dsub, codewords }
+        assert!(
+            k <= 256,
+            "compact codes are one byte: K must be <= 256, got {k}"
+        );
+        assert_eq!(
+            codewords.len(),
+            m * k * dsub,
+            "codeword buffer size mismatch"
+        );
+        Self {
+            m,
+            k,
+            dsub,
+            codewords,
+        }
     }
 
     /// Number of chunks M.
@@ -110,7 +122,11 @@ impl Codebook {
                 *slot = sq_l2(sub, self.codeword(j, ki));
             }
         }
-        LookupTable { m: self.m, k: self.k, table }
+        LookupTable {
+            m: self.m,
+            k: self.k,
+            table,
+        }
     }
 
     /// Builds the SDC (symmetric) table: `table[j][a][b] = δ(c_ja, c_jb)`.
@@ -124,7 +140,11 @@ impl Codebook {
                 }
             }
         }
-        SdcTable { m: self.m, k: self.k, table }
+        SdcTable {
+            m: self.m,
+            k: self.k,
+            table,
+        }
     }
 
     /// Bytes used by the codeword storage (the in-memory model budget the
@@ -303,7 +323,12 @@ mod tests {
     #[test]
     fn lookup_distance_handles_odd_m() {
         // m = 5 exercises the unroll tail.
-        let cb = Codebook::new(5, 2, 1, vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
+        let cb = Codebook::new(
+            5,
+            2,
+            1,
+            vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0],
+        );
         let q = [0.5f32; 5];
         let lut = cb.lookup_table(&q);
         let code = [1u8, 0, 1, 0, 1];

@@ -116,13 +116,18 @@ impl<'a> SdcEstimator<'a> {
     ) -> Self {
         let mut query_code = vec![0u8; codebook.m()];
         codebook.encode_one(query, &mut query_code);
-        Self { table: codebook.sdc_table(), codes, query_code }
+        Self {
+            table: codebook.sdc_table(),
+            codes,
+            query_code,
+        }
     }
 }
 
 impl DistanceEstimator for SdcEstimator<'_> {
     #[inline]
     fn distance(&self, node: u32) -> f32 {
-        self.table.distance(&self.query_code, self.codes.code(node as usize))
+        self.table
+            .distance(&self.query_code, self.codes.code(node as usize))
     }
 }

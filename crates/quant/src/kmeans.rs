@@ -20,7 +20,12 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        Self { k: 256, max_iters: 20, tol: 1e-4, seed: 0 }
+        Self {
+            k: 256,
+            max_iters: 20,
+            tol: 1e-4,
+            seed: 0,
+        }
     }
 }
 
@@ -128,8 +133,9 @@ pub fn kmeans(data: &[f32], dim: usize, cfg: KMeansConfig) -> KMeansResult {
                 }
             } else {
                 let inv = 1.0 / counts[c] as f64;
-                for (dst, &s) in
-                    centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..(c + 1) * dim])
+                for (dst, &s) in centroids[c * dim..(c + 1) * dim]
+                    .iter_mut()
+                    .zip(&sums[c * dim..(c + 1) * dim])
                 {
                     *dst = (s * inv) as f32;
                 }
@@ -142,7 +148,12 @@ pub fn kmeans(data: &[f32], dim: usize, cfg: KMeansConfig) -> KMeansResult {
         prev_inertia = inertia;
     }
 
-    KMeansResult { centroids, assignments, inertia, k }
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        k,
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +172,14 @@ mod tests {
     #[test]
     fn separates_two_blobs() {
         let (data, dim) = two_blobs();
-        let res = kmeans(&data, dim, KMeansConfig { k: 2, ..Default::default() });
+        let res = kmeans(
+            &data,
+            dim,
+            KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(res.k, 2);
         // Points alternate blob A / blob B; assignments must alternate too.
         let a = res.assignments[0];
@@ -176,7 +194,14 @@ mod tests {
     #[test]
     fn k_clamped_to_n() {
         let data = vec![0.0f32, 1.0, 2.0];
-        let res = kmeans(&data, 1, KMeansConfig { k: 100, ..Default::default() });
+        let res = kmeans(
+            &data,
+            1,
+            KMeansConfig {
+                k: 100,
+                ..Default::default()
+            },
+        );
         assert_eq!(res.k, 3);
         assert!(res.inertia < 1e-6);
     }
@@ -184,16 +209,46 @@ mod tests {
     #[test]
     fn inertia_decreases_with_more_clusters() {
         let (data, dim) = two_blobs();
-        let r1 = kmeans(&data, dim, KMeansConfig { k: 1, ..Default::default() });
-        let r4 = kmeans(&data, dim, KMeansConfig { k: 4, ..Default::default() });
+        let r1 = kmeans(
+            &data,
+            dim,
+            KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+        );
+        let r4 = kmeans(
+            &data,
+            dim,
+            KMeansConfig {
+                k: 4,
+                ..Default::default()
+            },
+        );
         assert!(r4.inertia < r1.inertia);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (data, dim) = two_blobs();
-        let a = kmeans(&data, dim, KMeansConfig { k: 4, seed: 3, ..Default::default() });
-        let b = kmeans(&data, dim, KMeansConfig { k: 4, seed: 3, ..Default::default() });
+        let a = kmeans(
+            &data,
+            dim,
+            KMeansConfig {
+                k: 4,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let b = kmeans(
+            &data,
+            dim,
+            KMeansConfig {
+                k: 4,
+                seed: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.centroids, b.centroids);
         assert_eq!(a.assignments, b.assignments);
     }
@@ -201,7 +256,14 @@ mod tests {
     #[test]
     fn duplicate_points_do_not_crash() {
         let data = vec![1.0f32; 40]; // 20 identical 2-D points
-        let res = kmeans(&data, 2, KMeansConfig { k: 5, ..Default::default() });
+        let res = kmeans(
+            &data,
+            2,
+            KMeansConfig {
+                k: 5,
+                ..Default::default()
+            },
+        );
         assert!(res.inertia < 1e-6);
     }
 

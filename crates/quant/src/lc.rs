@@ -37,7 +37,10 @@ pub struct LcConfig {
 
 impl Default for LcConfig {
     fn default() -> Self {
-        Self { pq: PqConfig::default(), fit_sample: 2000 }
+        Self {
+            pq: PqConfig::default(),
+            fit_sample: 2000,
+        }
     }
 }
 
@@ -96,9 +99,18 @@ impl LinkAndCode {
         let (beta0, beta1) = if det.abs() < 1e-9 {
             (1.0, 0.0)
         } else {
-            (((bb * ax - ab * bx) / det) as f32, ((aa * bx - ab * ax) / det) as f32)
+            (
+                ((bb * ax - ab * bx) / det) as f32,
+                ((aa * bx - ab * ax) / det) as f32,
+            )
         };
-        Self { pq, graph, beta0, beta1, train_seconds: start.elapsed().as_secs_f32() }
+        Self {
+            pq,
+            graph,
+            beta0,
+            beta1,
+            train_seconds: start.elapsed().as_secs_f32(),
+        }
     }
 
     /// The fitted regression coefficients.
@@ -240,12 +252,26 @@ mod tests {
             transform: ValueTransform::Identity,
         }
         .generate(n, seed);
-        let graph = Arc::new(VamanaConfig { r: 8, l: 24, ..Default::default() }.build(&data));
+        let graph = Arc::new(
+            VamanaConfig {
+                r: 8,
+                l: 24,
+                ..Default::default()
+            }
+            .build(&data),
+        );
         (data, graph)
     }
 
     fn lc_cfg() -> LcConfig {
-        LcConfig { pq: PqConfig { m: 4, k: 16, ..Default::default() }, fit_sample: 500 }
+        LcConfig {
+            pq: PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            fit_sample: 500,
+        }
     }
 
     #[test]
@@ -290,7 +316,10 @@ mod tests {
             lc.refine_into(&codes, i, &mut refined);
             let expect = sq_l2(&q, &refined);
             let got = est.distance(i);
-            assert!((got - expect).abs() < 1e-3 * expect.max(1.0), "{got} vs {expect}");
+            assert!(
+                (got - expect).abs() < 1e-3 * expect.max(1.0),
+                "{got} vs {expect}"
+            );
         }
     }
 

@@ -24,7 +24,10 @@ pub struct OpqConfig {
 
 impl Default for OpqConfig {
     fn default() -> Self {
-        Self { pq: PqConfig::default(), iters: 8 }
+        Self {
+            pq: PqConfig::default(),
+            iters: 8,
+        }
     }
 }
 
@@ -66,7 +69,11 @@ impl OptimizedProductQuantizer {
         // Final codebook fit against the final rotation.
         let xr = x.matmul(&rotation);
         let pq = ProductQuantizer::train(&cfg.pq, &Dataset::from_matrix(&xr));
-        Self { rotation, pq, train_seconds: start.elapsed().as_secs_f32() }
+        Self {
+            rotation,
+            pq,
+            train_seconds: start.elapsed().as_secs_f32(),
+        }
     }
 
     /// Builds an OPQ-style compressor from externally learned parts (RPQ's
@@ -74,7 +81,11 @@ impl OptimizedProductQuantizer {
     pub fn from_parts(rotation: Matrix, pq: ProductQuantizer, train_seconds: f32) -> Self {
         assert_eq!(rotation.rows, rotation.cols, "rotation must be square");
         assert_eq!(rotation.rows, pq.dim(), "rotation/codebook dim mismatch");
-        Self { rotation, pq, train_seconds }
+        Self {
+            rotation,
+            pq,
+            train_seconds,
+        }
     }
 
     /// The learned rotation (applied as `x_row · R`).
@@ -180,7 +191,14 @@ mod tests {
     fn rotation_is_orthonormal() {
         let data = imbalanced(400, 16, 1);
         let opq = OptimizedProductQuantizer::train(
-            &OpqConfig { pq: PqConfig { m: 4, k: 16, ..Default::default() }, iters: 4 },
+            &OpqConfig {
+                pq: PqConfig {
+                    m: 4,
+                    k: 16,
+                    ..Default::default()
+                },
+                iters: 4,
+            },
             &data,
         );
         assert!(is_orthonormal(opq.rotation(), 1e-2));
@@ -189,7 +207,11 @@ mod tests {
     #[test]
     fn opq_beats_pq_on_imbalanced_data() {
         let data = imbalanced(800, 16, 2);
-        let pqc = PqConfig { m: 4, k: 16, ..Default::default() };
+        let pqc = PqConfig {
+            m: 4,
+            k: 16,
+            ..Default::default()
+        };
         let pq = ProductQuantizer::train(&pqc, &data);
         let opq = OptimizedProductQuantizer::train(&OpqConfig { pq: pqc, iters: 6 }, &data);
         let pq_mse = pq.reconstruction_mse(&data);
@@ -205,7 +227,14 @@ mod tests {
     fn adc_matches_decoded_distance_in_rotated_space() {
         let data = imbalanced(300, 8, 3);
         let opq = OptimizedProductQuantizer::train(
-            &OpqConfig { pq: PqConfig { m: 2, k: 16, ..Default::default() }, iters: 3 },
+            &OpqConfig {
+                pq: PqConfig {
+                    m: 2,
+                    k: 16,
+                    ..Default::default()
+                },
+                iters: 3,
+            },
             &data,
         );
         let codes = opq.encode_dataset(&data);
@@ -220,7 +249,10 @@ mod tests {
             opq.decode_into(codes.code(i), &mut rec);
             let expect = rpq_linalg::distance::sq_l2(&qr, &rec);
             let got = lut.distance(codes.code(i));
-            assert!((got - expect).abs() < 1e-3 * expect.max(1.0), "{got} vs {expect}");
+            assert!(
+                (got - expect).abs() < 1e-3 * expect.max(1.0),
+                "{got} vs {expect}"
+            );
         }
     }
 
@@ -229,12 +261,22 @@ mod tests {
         // δ(Rx, Rq) == δ(x, q): search in rotated space is equivalent.
         let data = imbalanced(100, 8, 4);
         let opq = OptimizedProductQuantizer::train(
-            &OpqConfig { pq: PqConfig { m: 2, k: 8, ..Default::default() }, iters: 2 },
+            &OpqConfig {
+                pq: PqConfig {
+                    m: 2,
+                    k: 8,
+                    ..Default::default()
+                },
+                iters: 2,
+            },
             &data,
         );
         let rot = opq.rotate_dataset(&data);
         let d_orig = rpq_linalg::distance::sq_l2(data.get(0), data.get(1));
         let d_rot = rpq_linalg::distance::sq_l2(rot.get(0), rot.get(1));
-        assert!((d_orig - d_rot).abs() < 1e-2 * d_orig.max(1.0), "{d_orig} vs {d_rot}");
+        assert!(
+            (d_orig - d_rot).abs() < 1e-2 * d_orig.max(1.0),
+            "{d_orig} vs {d_rot}"
+        );
     }
 }

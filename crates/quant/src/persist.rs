@@ -137,7 +137,14 @@ mod tests {
     #[test]
     fn codebook_roundtrip() {
         let data = toy(300, 1);
-        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 16, ..Default::default() }, &data);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &data,
+        );
         let mut buf = Vec::new();
         write_codebook(&mut buf, pq.codebook()).unwrap();
         let back = read_codebook(&mut buf.as_slice()).unwrap();
@@ -148,7 +155,14 @@ mod tests {
     fn rotated_pq_roundtrip_preserves_behaviour() {
         let data = toy(300, 2);
         let opq = OptimizedProductQuantizer::train(
-            &OpqConfig { pq: PqConfig { m: 4, k: 16, ..Default::default() }, iters: 3 },
+            &OpqConfig {
+                pq: PqConfig {
+                    m: 4,
+                    k: 16,
+                    ..Default::default()
+                },
+                iters: 3,
+            },
             &data,
         );
         let mut buf = Vec::new();
@@ -162,14 +176,24 @@ mod tests {
         let lut_a = opq.lookup_table(q);
         let lut_b = back.lookup_table(q);
         for i in (0..300).step_by(31) {
-            assert_eq!(lut_a.distance(codes_a.code(i)), lut_b.distance(codes_b.code(i)));
+            assert_eq!(
+                lut_a.distance(codes_a.code(i)),
+                lut_b.distance(codes_b.code(i))
+            );
         }
     }
 
     #[test]
     fn truncated_files_rejected() {
         let data = toy(100, 3);
-        let pq = ProductQuantizer::train(&PqConfig { m: 2, k: 8, ..Default::default() }, &data);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 2,
+                k: 8,
+                ..Default::default()
+            },
+            &data,
+        );
         let mut buf = Vec::new();
         write_codebook(&mut buf, pq.codebook()).unwrap();
         for cut in [1usize, 5, buf.len() / 2] {

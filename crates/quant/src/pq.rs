@@ -26,7 +26,13 @@ pub struct PqConfig {
 
 impl Default for PqConfig {
     fn default() -> Self {
-        Self { m: 8, k: 256, kmeans_iters: 15, train_size: 100_000, seed: 0 }
+        Self {
+            m: 8,
+            k: 256,
+            kmeans_iters: 15,
+            train_size: 100_000,
+            seed: 0,
+        }
     }
 }
 
@@ -70,12 +76,18 @@ impl ProductQuantizer {
             codewords[base..base + k_eff * dsub].copy_from_slice(&res.centroids);
         }
         let codebook = Codebook::new(cfg.m, k_eff, dsub, codewords);
-        Self { codebook, train_seconds: start.elapsed().as_secs_f32() }
+        Self {
+            codebook,
+            train_seconds: start.elapsed().as_secs_f32(),
+        }
     }
 
     /// Wraps an existing codebook (used by RPQ's export path).
     pub fn from_codebook(codebook: Codebook, train_seconds: f32) -> Self {
-        Self { codebook, train_seconds }
+        Self {
+            codebook,
+            train_seconds,
+        }
     }
 
     /// The underlying codebook.
@@ -154,8 +166,9 @@ pub(crate) fn subsample(data: &Dataset, cap: usize, seed: u64) -> Dataset {
     }
     let stride = n as f64 / cap as f64;
     let offset = (seed as usize) % stride.ceil().max(1.0) as usize;
-    let indices: Vec<usize> =
-        (0..cap).map(|i| ((i as f64 * stride) as usize + offset) % n).collect();
+    let indices: Vec<usize> = (0..cap)
+        .map(|i| ((i as f64 * stride) as usize + offset) % n)
+        .collect();
     data.subset(&indices)
 }
 
@@ -179,7 +192,14 @@ mod tests {
     #[test]
     fn adc_equals_decoded_distance() {
         let data = toy(400, 16, 1);
-        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 16, ..Default::default() }, &data);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &data,
+        );
         let codes = pq.encode_dataset(&data);
         let q = data.get(7);
         let lut = pq.lookup_table(q);
@@ -188,15 +208,32 @@ mod tests {
             pq.decode_into(codes.code(i), &mut rec);
             let expect = rpq_linalg::distance::sq_l2(q, &rec);
             let got = lut.distance(codes.code(i));
-            assert!((got - expect).abs() < 1e-3 * expect.max(1.0), "{got} vs {expect}");
+            assert!(
+                (got - expect).abs() < 1e-3 * expect.max(1.0),
+                "{got} vs {expect}"
+            );
         }
     }
 
     #[test]
     fn more_codewords_reduce_distortion() {
         let data = toy(600, 16, 2);
-        let small = ProductQuantizer::train(&PqConfig { m: 4, k: 4, ..Default::default() }, &data);
-        let large = ProductQuantizer::train(&PqConfig { m: 4, k: 64, ..Default::default() }, &data);
+        let small = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 4,
+                ..Default::default()
+            },
+            &data,
+        );
+        let large = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 64,
+                ..Default::default()
+            },
+            &data,
+        );
         assert!(
             large.reconstruction_mse(&data) < small.reconstruction_mse(&data),
             "K=64 must beat K=4"
@@ -206,8 +243,22 @@ mod tests {
     #[test]
     fn more_chunks_reduce_distortion() {
         let data = toy(600, 16, 3);
-        let m2 = ProductQuantizer::train(&PqConfig { m: 2, k: 16, ..Default::default() }, &data);
-        let m8 = ProductQuantizer::train(&PqConfig { m: 8, k: 16, ..Default::default() }, &data);
+        let m2 = ProductQuantizer::train(
+            &PqConfig {
+                m: 2,
+                k: 16,
+                ..Default::default()
+            },
+            &data,
+        );
+        let m8 = ProductQuantizer::train(
+            &PqConfig {
+                m: 8,
+                k: 16,
+                ..Default::default()
+            },
+            &data,
+        );
         assert!(m8.reconstruction_mse(&data) < m2.reconstruction_mse(&data));
     }
 
@@ -220,7 +271,12 @@ mod tests {
         data.push(&[2.0, 2.0, 2.0, 2.0]);
         data.push(&[3.0, 3.0, 3.0, 3.0]);
         let pq = ProductQuantizer::train(
-            &PqConfig { m: 2, k: 4, kmeans_iters: 30, ..Default::default() },
+            &PqConfig {
+                m: 2,
+                k: 4,
+                kmeans_iters: 30,
+                ..Default::default()
+            },
             &data,
         );
         assert!(pq.reconstruction_mse(&data) < 1e-6);
@@ -229,7 +285,14 @@ mod tests {
     #[test]
     fn k_clamped_when_training_set_small() {
         let data = toy(10, 8, 4);
-        let pq = ProductQuantizer::train(&PqConfig { m: 2, k: 256, ..Default::default() }, &data);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 2,
+                k: 256,
+                ..Default::default()
+            },
+            &data,
+        );
         assert_eq!(pq.codebook().k(), 10);
     }
 
@@ -237,7 +300,13 @@ mod tests {
     #[should_panic(expected = "must divide the dimension")]
     fn indivisible_m_rejected() {
         let data = toy(10, 10, 5);
-        let _ = ProductQuantizer::train(&PqConfig { m: 3, ..Default::default() }, &data);
+        let _ = ProductQuantizer::train(
+            &PqConfig {
+                m: 3,
+                ..Default::default()
+            },
+            &data,
+        );
     }
 
     #[test]
@@ -252,7 +321,14 @@ mod tests {
     #[test]
     fn compressor_trait_surface() {
         let data = toy(200, 16, 7);
-        let pq = ProductQuantizer::train(&PqConfig { m: 4, k: 16, ..Default::default() }, &data);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &data,
+        );
         assert_eq!(pq.name(), "PQ");
         assert_eq!(pq.dim(), 16);
         assert_eq!(pq.code_dim(), 16);

@@ -1,0 +1,20 @@
+//! Umbrella crate for the RPQ workspace: one `use rpq::…` entry point over
+//! the layered member crates, and the owner of the repository-root
+//! cross-crate tests (`tests/`) and runnable examples (`examples/`).
+//!
+//! Layering (each layer depends only on the ones before it):
+//!
+//! ```text
+//! linalg ── autodiff ┐
+//!    │               ├── quant ── core ── anns ── bench
+//!    └───── data ── graph ┘
+//! ```
+
+pub use rpq_anns as anns;
+pub use rpq_autodiff as autodiff;
+pub use rpq_bench as bench;
+pub use rpq_core as core;
+pub use rpq_data as data;
+pub use rpq_graph as graph;
+pub use rpq_linalg as linalg;
+pub use rpq_quant as quant;

@@ -39,7 +39,11 @@ fn main() {
     for which in ["PQ", "RPQ"] {
         let compressor: Box<dyn VectorCompressor> = if which == "PQ" {
             Box::new(ProductQuantizer::train(
-                &PqConfig { m: 8, k: scale.kk, ..Default::default() },
+                &PqConfig {
+                    m: 8,
+                    k: scale.kk,
+                    ..Default::default()
+                },
                 &base,
             ))
         } else {

@@ -44,7 +44,11 @@ fn main() {
         let mut f = std::fs::File::open(&model_path).expect("open model file");
         read_rotated_pq(&mut f).expect("load model")
     };
-    println!("reloaded model: dim {}, {} KiB resident", loaded.dim(), loaded.model_bytes() / 1024);
+    println!(
+        "reloaded model: dim {}, {} KiB resident",
+        loaded.dim(),
+        loaded.model_bytes() / 1024
+    );
 
     let plain = DiskIndex::build(
         read_model(&model_path),

@@ -11,8 +11,8 @@
 use std::sync::Arc;
 
 use rpq_anns::InMemoryIndex;
-use rpq_core::{train_rpq, RpqTrainerConfig, TrainingMode};
 use rpq_core::quantizer::DiffQuantizerConfig;
+use rpq_core::{train_rpq, RpqTrainerConfig, TrainingMode};
 use rpq_data::brute_force_knn;
 use rpq_data::synth::DatasetKind;
 use rpq_graph::{HnswConfig, SearchScratch};
@@ -22,15 +22,28 @@ fn main() {
     // 1. Data: a SIFT-like synthetic set (swap in rpq_data::io::read_fvecs
     //    for the real thing).
     let (base, queries) = DatasetKind::Sift.generate(4000, 50, 42);
-    println!("dataset: {} base vectors, {} queries, {} dims", base.len(), queries.len(), base.dim());
+    println!(
+        "dataset: {} base vectors, {} queries, {} dims",
+        base.len(),
+        queries.len(),
+        base.dim()
+    );
 
     // 2. Proximity graph (HNSW here; NSG / Vamana are drop-in).
     let graph = Arc::new(HnswConfig::default().build(&base));
-    println!("graph: avg degree {:.1}, entry {}", graph.avg_degree(), graph.entry());
+    println!(
+        "graph: avg degree {:.1}, entry {}",
+        graph.avg_degree(),
+        graph.entry()
+    );
 
     // 3. Train RPQ: neighborhood + routing features, joint loss.
     let cfg = RpqTrainerConfig {
-        quantizer: DiffQuantizerConfig { m: 8, k: 64, ..Default::default() },
+        quantizer: DiffQuantizerConfig {
+            m: 8,
+            k: 64,
+            ..Default::default()
+        },
         mode: TrainingMode::Full,
         epochs: 3,
         steps_per_epoch: 10,

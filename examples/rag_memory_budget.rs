@@ -42,7 +42,11 @@ fn main() {
     for which in ["PQ", "RPQ"] {
         let compressor: Box<dyn VectorCompressor> = if which == "PQ" {
             Box::new(ProductQuantizer::train(
-                &PqConfig { m: 8, k: scale.kk, ..Default::default() },
+                &PqConfig {
+                    m: 8,
+                    k: scale.kk,
+                    ..Default::default()
+                },
                 &base,
             ))
         } else {
@@ -54,11 +58,18 @@ fn main() {
         println!(
             "\n{which}: codes+model resident = {} KiB ({} budget)",
             quant_resident / 1024,
-            if quant_resident <= budget { "WITHIN" } else { "OVER" },
+            if quant_resident <= budget {
+                "WITHIN"
+            } else {
+                "OVER"
+            },
         );
         let points = sweep_memory(&index, &queries, &gt, 10, &[20, 60, 180]);
         for p in &points {
-            println!("  ef={:<4} recall@10={:.3} qps={:.0}", p.ef, p.recall, p.qps);
+            println!(
+                "  ef={:<4} recall@10={:.3} qps={:.0}",
+                p.ef, p.recall, p.qps
+            );
         }
     }
     println!("\n(The gap between the two recall columns at equal ef is the value of\nrouting-guided learning under the same memory budget.)");

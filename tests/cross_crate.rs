@@ -54,7 +54,11 @@ fn self_code_ranks_first() {
                 wins += 1;
             }
         }
-        assert!(wins >= 36, "{}: self code beaten too often ({wins}/40)", method.name());
+        assert!(
+            wins >= 36,
+            "{}: self code beaten too often ({wins}/40)",
+            method.name()
+        );
     }
 }
 
@@ -99,16 +103,17 @@ fn feature_extraction_works_on_all_graphs() {
     let bench = make_bench(DatasetKind::Gist, 500, 5, 5, 24);
     for kind in [GraphKind::Vamana, GraphKind::Hnsw, GraphKind::Nsg] {
         let graph = build_graph(kind, &bench.base, 0);
-        let triplets =
-            sample_triplets(&graph, &bench.base, &TripletSamplerConfig::default(), 20);
+        let triplets = sample_triplets(&graph, &bench.base, &TripletSamplerConfig::default(), 20);
         assert!(!triplets.is_empty(), "{kind:?}: no triplets");
         let feats = sample_routing_features(
             &graph,
             &bench.base,
-            &|q| {
-                Box::new(ExactEstimator::new(&bench.base, q)) as Box<dyn DistanceEstimator>
+            &|q| Box::new(ExactEstimator::new(&bench.base, q)) as Box<dyn DistanceEstimator>,
+            &RoutingSamplerConfig {
+                n_queries: 4,
+                h: 6,
+                ..Default::default()
             },
-            &RoutingSamplerConfig { n_queries: 4, h: 6, ..Default::default() },
         );
         assert!(!feats.is_empty(), "{kind:?}: no routing features");
     }
@@ -118,7 +123,13 @@ fn feature_extraction_works_on_all_graphs() {
 #[test]
 fn qps_at_recall_used_by_experiments_is_monotone_safe() {
     use rpq_anns::{qps_at_recall, SweepPoint};
-    let mk = |recall: f32, qps: f32| SweepPoint { ef: 0, recall, qps, hops: 0.0, io_ms: 0.0 };
+    let mk = |recall: f32, qps: f32| SweepPoint {
+        ef: 0,
+        recall,
+        qps,
+        hops: 0.0,
+        io_ms: 0.0,
+    };
     // Unordered input must still interpolate.
     let pts = vec![mk(0.9, 500.0), mk(0.6, 2000.0), mk(0.97, 100.0)];
     let q = qps_at_recall(&pts, 0.93).unwrap();

@@ -25,7 +25,11 @@ fn full_pipeline_in_memory_rpq_not_worse_than_pq() {
     let graph = Arc::new(HnswConfig::default().build(&base));
 
     let pq: Box<dyn VectorCompressor> = Box::new(ProductQuantizer::train(
-        &PqConfig { m: 8, k: 64, ..Default::default() },
+        &PqConfig {
+            m: 8,
+            k: 64,
+            ..Default::default()
+        },
         &base,
     ));
     let cfg = rpq_config(TrainingMode::Full, &s, 8, 64);
@@ -53,14 +57,29 @@ fn full_pipeline_hybrid_reranking_beats_adc_only() {
     let s = scale();
     let (base, queries) = DatasetKind::Deep.generate(1200, 30, 10);
     let gt = brute_force_knn(&base, &queries, s.k);
-    let vamana = Arc::new(VamanaConfig { r: 16, l: 32, ..Default::default() }.build(&base));
+    let vamana = Arc::new(
+        VamanaConfig {
+            r: 16,
+            l: 32,
+            ..Default::default()
+        }
+        .build(&base),
+    );
 
     let pq_for_mem: Box<dyn VectorCompressor> = Box::new(ProductQuantizer::train(
-        &PqConfig { m: 8, k: 32, ..Default::default() },
+        &PqConfig {
+            m: 8,
+            k: 32,
+            ..Default::default()
+        },
         &base,
     ));
     let pq_for_disk: Box<dyn VectorCompressor> = Box::new(ProductQuantizer::train(
-        &PqConfig { m: 8, k: 32, ..Default::default() },
+        &PqConfig {
+            m: 8,
+            k: 32,
+            ..Default::default()
+        },
         &base,
     ));
 
@@ -94,9 +113,20 @@ fn ablation_ordering_is_sane() {
     let s = scale();
     let (base, queries) = DatasetKind::Ukbench.generate(1200, 30, 11);
     let gt = brute_force_knn(&base, &queries, s.k);
-    let graph = Arc::new(VamanaConfig { r: 16, l: 32, ..Default::default() }.build(&base));
+    let graph = Arc::new(
+        VamanaConfig {
+            r: 16,
+            l: 32,
+            ..Default::default()
+        }
+        .build(&base),
+    );
     let mut recalls = Vec::new();
-    for mode in [TrainingMode::Full, TrainingMode::NeighborOnly, TrainingMode::RoutingOnly] {
+    for mode in [
+        TrainingMode::Full,
+        TrainingMode::NeighborOnly,
+        TrainingMode::RoutingOnly,
+    ] {
         let cfg = rpq_config(mode, &s, 8, 32);
         let (rpq, _) = train_rpq(&cfg, &base, &graph);
         let idx = InMemoryIndex::build(
@@ -142,7 +172,14 @@ fn memory_budget_in_memory_scenario() {
     let (base, _) = DatasetKind::Gist.generate(800, 0, 13);
     let graph = HnswConfig::default().build(&base);
     let graph_bytes = graph.memory_bytes();
-    let pq = ProductQuantizer::train(&PqConfig { m: 8, k: 64, ..Default::default() }, &base);
+    let pq = ProductQuantizer::train(
+        &PqConfig {
+            m: 8,
+            k: 64,
+            ..Default::default()
+        },
+        &base,
+    );
     let idx = InMemoryIndex::build(pq, &base, graph);
     let resident = idx.memory_bytes();
     assert!(resident > graph_bytes, "accounting must include the graph");

@@ -1,0 +1,200 @@
+//! Minimal stand-in for the `criterion` surface this workspace uses.
+//!
+//! Benchmarks compile and run, printing a coarse mean wall-clock time per
+//! iteration — no statistical analysis, outlier rejection, or HTML reports.
+//! The build environment has no crates.io access; swap the
+//! `[workspace.dependencies]` path entry for the real crate to upgrade.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hint (ignored by the shim beyond API compatibility).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run single iterations until the budget elapses at least
+        // once, to get a per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm = Bencher::new(1);
+        f(&mut warm);
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut warm);
+        }
+        let per_iter = warm.elapsed.as_secs_f64() / warm.done.max(1) as f64;
+
+        // Measurement: split the time budget across samples.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let mut measured = Bencher::new(iters_per_sample);
+        let mut samples = 0u64;
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut measured);
+            samples += 1;
+            if start.elapsed() > self.measurement_time * 2 {
+                break; // keep slow benches bounded
+            }
+        }
+
+        let total = measured.done.max(1);
+        let mean = measured.elapsed.as_secs_f64() / total as f64;
+        println!(
+            "{id:<40} {:>12}/iter  ({samples} samples, {total} iters)",
+            format_time(mean)
+        );
+        self
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Per-function measurement handle.
+pub struct Bencher {
+    /// Iterations each `iter`/`iter_batched` call should execute.
+    iters: u64,
+    /// Iterations executed so far across calls.
+    done: u64,
+    /// Measured time accumulated across calls.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Self {
+            iters,
+            done: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.done += self.iters;
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.done += self.iters;
+    }
+}
+
+/// Defines a benchmark group as a function that runs its targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs_routines() {
+        let mut ran = 0u64;
+        quick().bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_and_routine() {
+        quick().bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

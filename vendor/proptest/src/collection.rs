@@ -1,0 +1,57 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Lengths acceptable to [`vec`]: an exact size or a size range.
+pub trait IntoSizeRange {
+    /// Half-open `[min, max)` bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    assert!(min < max, "empty size range for proptest::collection::vec");
+    VecStrategy { element, min, max }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        let len = if self.min + 1 == self.max {
+            self.min
+        } else {
+            rng.gen_range(self.min..self.max)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

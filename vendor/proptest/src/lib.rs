@@ -1,0 +1,122 @@
+//! Minimal stand-in for the `proptest` surface this workspace uses.
+//!
+//! Each `proptest!` test samples its strategies `cases` times from a
+//! deterministic per-test RNG and runs the body; `prop_assert!` maps to
+//! `assert!`. Unlike real proptest there is **no shrinking** and no failure
+//! persistence — a failing case panics with the assertion message only.
+//! The build environment has no crates.io access; swap the
+//! `[workspace.dependencies]` path entry for the real crate to upgrade.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::{rngs::SmallRng, SeedableRng};
+
+    /// Deterministic per-test seed: stable across runs, distinct per test.
+    pub fn test_rng(test_name: &str) -> SmallRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        SmallRng::seed_from_u64(h)
+    }
+}
+
+/// Defines property tests: an optional `#![proptest_config(..)]` header
+/// followed by `#[test]` functions whose arguments are `pattern in strategy`
+/// bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::__rt::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — like `assert!` (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!` — like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!` — like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_and_combinators_sample_in_bounds() {
+        let mut rng = crate::__rt::test_rng("self-test");
+        for _ in 0..200 {
+            let v = (1usize..5).sample(&mut rng);
+            assert!((1..5).contains(&v));
+            let f = (-2.0f32..2.0).sample(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let (a, b) = ((0u32..3), (10u32..13)).sample(&mut rng);
+            assert!(a < 3 && (10..13).contains(&b));
+            let doubled = (0i32..4).prop_map(|x| x * 2).sample(&mut rng);
+            assert!(doubled % 2 == 0 && doubled < 8);
+            let nested = (1usize..4)
+                .prop_flat_map(|n| crate::collection::vec(0u32..9, n))
+                .sample(&mut rng);
+            assert!(!nested.is_empty() && nested.len() < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_expands_and_runs(x in 0u32..50, (lo, hi) in (0u32..10, 10u32..20)) {
+            prop_assert!(x < 50);
+            prop_assert!(lo < hi);
+        }
+    }
+}

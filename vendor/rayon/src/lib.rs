@@ -1,0 +1,176 @@
+//! Minimal stand-in for the `rayon` API surface this workspace uses.
+//!
+//! The build environment has no crates.io access, so `par_iter`-family calls
+//! resolve to the corresponding **sequential** std iterators — same results,
+//! no data parallelism. Because the shim hands back plain std iterators, the
+//! full `Iterator` adapter vocabulary (`map`, `enumerate`, `sum`, `collect`,
+//! `for_each`, …) is available exactly as under real rayon. Swap the
+//! `[workspace.dependencies]` path entry for the real crate to get actual
+//! multicore execution; call sites need no changes.
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads rayon would use (here: the machine's
+/// parallelism, for code that sizes batches off it).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs two closures "in parallel" (sequentially here) and returns both.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod iter {
+    /// Rayon-specific adapters that std's `Iterator` lacks. Blanket-implemented
+    /// for every iterator so chains coming out of `par_iter()` and friends
+    /// accept them.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// `map` with per-worker scratch state. Sequentially there is exactly
+        /// one worker, so `init` runs once and the state threads through every
+        /// item.
+        fn map_init<INIT, T, F, R>(self, mut init: INIT, f: F) -> MapInit<Self, T, F>
+        where
+            INIT: FnMut() -> T,
+            F: FnMut(&mut T, Self::Item) -> R,
+        {
+            MapInit {
+                iter: self,
+                state: init(),
+                f,
+            }
+        }
+
+        /// Minimum items per work unit — a no-op without work splitting.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+
+    pub struct MapInit<I, T, F> {
+        iter: I,
+        state: T,
+        f: F,
+    }
+
+    impl<I, T, F, R> Iterator for MapInit<I, T, F>
+    where
+        I: Iterator,
+        F: FnMut(&mut T, I::Item) -> R,
+    {
+        type Item = R;
+
+        fn next(&mut self) -> Option<R> {
+            let item = self.iter.next()?;
+            Some((self.f)(&mut self.state, item))
+        }
+    }
+
+    /// Consuming conversion: `.into_par_iter()` on owned collections and
+    /// ranges.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Borrowing conversion: `.par_iter()`.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Item = <&'data I as IntoIterator>::Item;
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Mutably borrowing conversion: `.par_iter_mut()`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+    where
+        &'data mut I: IntoIterator,
+    {
+        type Item = <&'data mut I as IntoIterator>::Item;
+        type Iter = <&'data mut I as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+pub mod slice {
+    /// Chunked shared access: `.par_chunks()`.
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Chunked exclusive access: `.par_chunks_mut()`.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_compose_like_rayon() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let total: i32 = (0..5i32).into_par_iter().sum();
+        assert_eq!(total, 10);
+        let mut buf = [0u32; 6];
+        buf.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, c)| c.fill(i as u32));
+        assert_eq!(buf, [0, 0, 1, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,175 @@
+//! `#[derive(Serialize)]` for the vendored `serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build has
+//! no `syn`/`quote`). Supports the two shapes this workspace derives on:
+//! structs with named fields, and enums whose variants carry no data.
+//! Anything else produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility ahead of the struct/enum keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => {
+            return Err(format!(
+                "derive(Serialize) shim: expected struct/enum, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "derive(Serialize) shim: expected a name, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive(Serialize) shim: generic type `{name}` is not supported"
+        ));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "derive(Serialize) shim: tuple struct `{name}` is not supported; use named fields"
+            ));
+        }
+        other => {
+            return Err(format!(
+                "derive(Serialize) shim: expected a braced body for `{name}`, got {other:?}"
+            ))
+        }
+    };
+
+    if kind == "struct" {
+        let fields = named_fields(body)?;
+        let entries: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                )
+            })
+            .collect();
+        Ok(format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Value::Object(::std::vec![{}])\n}}\n}}",
+            entries.join(", ")
+        ))
+    } else {
+        let variants = unit_variants(&name, body)?;
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|v| {
+                format!("{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?}))")
+            })
+            .collect();
+        Ok(format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             match self {{ {} }}\n}}\n}}",
+            arms.join(", ")
+        ))
+    }
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut expect_name = true; // at a field boundary (start or after a top-level comma)
+    let mut angle_depth = 0i32; // commas inside generics are not boundaries
+    let mut pending: Option<String> = None;
+
+    for tok in body {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                expect_name = true;
+                pending = None;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && angle_depth == 0 => {
+                // `name:` confirmed (skips over `::` inside types because a
+                // path's second colon follows a consumed pending name only
+                // at angle_depth 0 — pending is taken exactly once).
+                if let Some(name) = pending.take() {
+                    fields.push(name);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' => {} // field attribute marker
+            TokenTree::Group(_) => {}                       // attribute body / default expr groups
+            TokenTree::Ident(id) if expect_name => {
+                let s = id.to_string();
+                if s == "pub" {
+                    continue;
+                }
+                pending = Some(s);
+                expect_name = false;
+            }
+            _ => {}
+        }
+    }
+    Ok(fields)
+}
+
+/// Variant names of a data-free enum body.
+fn unit_variants(name: &str, body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut expect_name = true;
+    for tok in body {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == ',' => expect_name = true,
+            TokenTree::Punct(p) if p.as_char() == '#' => {}
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {} // attribute
+            TokenTree::Group(_) => {
+                return Err(format!(
+                    "derive(Serialize) shim: enum `{name}` has a data-carrying variant, \
+                     which is not supported"
+                ));
+            }
+            TokenTree::Ident(id) if expect_name => {
+                variants.push(id.to_string());
+                expect_name = false;
+            }
+            _ => {}
+        }
+    }
+    Ok(variants)
+}
