@@ -161,6 +161,38 @@ impl DiskStore {
 }
 
 /// A DiskANN-style hybrid index.
+///
+/// # Example
+///
+/// ```
+/// use rpq_anns::{DiskIndex, DiskIndexConfig};
+/// use rpq_data::synth::{SynthConfig, ValueTransform};
+/// use rpq_graph::VamanaConfig;
+/// use rpq_quant::{PqConfig, ProductQuantizer};
+///
+/// let data = SynthConfig {
+///     dim: 8,
+///     intrinsic_dim: 4,
+///     clusters: 2,
+///     cluster_std: 0.5,
+///     noise_std: 0.05,
+///     transform: ValueTransform::Identity,
+/// }
+/// .generate(120, 1);
+/// let (base, queries) = data.split_at(100);
+/// let graph = VamanaConfig { r: 8, l: 16, ..Default::default() }.build(&base);
+/// let pq = ProductQuantizer::train(
+///     &PqConfig { m: 4, k: 16, ..Default::default() },
+///     &base,
+/// );
+///
+/// // Unique per-process path: concurrent test runs must not share stores.
+/// let store = std::env::temp_dir().join(format!("rpq-doctest-{}.store", std::process::id()));
+/// let index = DiskIndex::build(pq, &base, &graph, DiskIndexConfig::new(store)).unwrap();
+/// let (top, stats) = index.search(queries.get(0), 32, 5);
+/// assert_eq!(top.len(), 5);
+/// assert!(stats.io_reads > 0); // routing fetched blocks from the store
+/// ```
 pub struct DiskIndex<C: VectorCompressor> {
     store: DiskStore,
     compressor: C,

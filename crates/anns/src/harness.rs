@@ -31,6 +31,39 @@ pub struct SweepPoint {
 }
 
 /// Sweeps beam widths over an in-memory index.
+///
+/// # Example
+///
+/// ```
+/// use rpq_anns::{sweep_memory, InMemoryIndex};
+/// use rpq_data::brute_force_knn;
+/// use rpq_data::synth::{SynthConfig, ValueTransform};
+/// use rpq_graph::HnswConfig;
+/// use rpq_quant::{PqConfig, ProductQuantizer};
+///
+/// let data = SynthConfig {
+///     dim: 8,
+///     intrinsic_dim: 4,
+///     clusters: 2,
+///     cluster_std: 0.5,
+///     noise_std: 0.05,
+///     transform: ValueTransform::Identity,
+/// }
+/// .generate(110, 2);
+/// let (base, queries) = data.split_at(100);
+/// let gt = brute_force_knn(&base, &queries, 5);
+/// let graph = HnswConfig { m: 8, ef_construction: 32, seed: 0 }.build(&base);
+/// let pq = ProductQuantizer::train(
+///     &PqConfig { m: 4, k: 16, ..Default::default() },
+///     &base,
+/// );
+/// let index = InMemoryIndex::build(pq, &base, graph);
+///
+/// let points = sweep_memory(&index, &queries, &gt, 5, &[8, 32]);
+/// assert_eq!(points.len(), 2);
+/// assert!(points.iter().all(|p| (0.0..=1.0).contains(&p.recall)));
+/// assert!(points.iter().all(|p| p.io_ms == 0.0)); // in-memory: no I/O
+/// ```
 pub fn sweep_memory<C: VectorCompressor>(
     index: &InMemoryIndex<C>,
     queries: &Dataset,

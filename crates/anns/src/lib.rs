@@ -17,13 +17,24 @@
 //! QPS / recall@k / hops / disk-I/O curves every figure in the paper's §8
 //! is built from. Disk latency is a configurable per-read model added to
 //! measured compute time (DESIGN.md §4 substitution: simulated SSD).
+//!
+//! [`serve`] is the online counterpart of the offline harness: a sharded
+//! concurrent serving layer — round-robin partitions over independent
+//! shard indexes, a persistent worker pool with per-worker reusable
+//! scratch, cross-shard top-k merging, request batching, and p50/p95/p99
+//! latency metrics (DESIGN.md §7).
 
 pub mod cache;
 pub mod disk;
 pub mod harness;
 pub mod memory;
+pub mod serve;
 
 pub use cache::{CacheStats, NodeCache};
 pub use disk::{DiskIndex, DiskIndexConfig, DiskSearchStats};
 pub use harness::{qps_at_recall, sweep_disk, sweep_memory, SweepPoint};
 pub use memory::InMemoryIndex;
+pub use serve::{
+    BatchReport, LatencySummary, ServeConfig, ServeEngine, Shard, ShardBackend, ShardQueryStats,
+    ShardedIndex, WorkerPool,
+};

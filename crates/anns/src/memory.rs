@@ -7,6 +7,37 @@ use rpq_graph::{beam_search, Neighbor, ProximityGraph, SearchScratch, SearchStat
 use rpq_quant::{CompactCodes, VectorCompressor};
 
 /// An in-memory PQ-integrated index over a proximity graph.
+///
+/// # Example
+///
+/// ```
+/// use rpq_anns::InMemoryIndex;
+/// use rpq_data::synth::{SynthConfig, ValueTransform};
+/// use rpq_graph::{HnswConfig, SearchScratch};
+/// use rpq_quant::{PqConfig, ProductQuantizer};
+///
+/// let data = SynthConfig {
+///     dim: 8,
+///     intrinsic_dim: 4,
+///     clusters: 2,
+///     cluster_std: 0.5,
+///     noise_std: 0.05,
+///     transform: ValueTransform::Identity,
+/// }
+/// .generate(120, 0);
+/// let (base, queries) = data.split_at(100);
+/// let graph = HnswConfig { m: 8, ef_construction: 32, seed: 0 }.build(&base);
+/// let pq = ProductQuantizer::train(
+///     &PqConfig { m: 4, k: 16, ..Default::default() },
+///     &base,
+/// );
+///
+/// let index = InMemoryIndex::build(pq, &base, graph);
+/// let mut scratch = SearchScratch::new();
+/// let (top, stats) = index.search(queries.get(0), 32, 5, &mut scratch);
+/// assert_eq!(top.len(), 5);
+/// assert!(stats.hops > 0);
+/// ```
 pub struct InMemoryIndex<C: VectorCompressor> {
     graph: ProximityGraph,
     codes: CompactCodes,

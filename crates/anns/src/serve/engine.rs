@@ -1,0 +1,343 @@
+//! The concurrent query engine: fan-out over shards through the worker
+//! pool, request batching, and latency accounting (DESIGN.md §7.2–§7.4).
+//!
+//! Every query becomes `n_shards` jobs; an idle worker picks each up and
+//! answers it with its own reusable scratch. The calling thread is the
+//! merger: it drains partial results as they complete, merges each query's
+//! top-k as soon as its last shard reports, and stamps the query's
+//! wall-clock latency at that moment. Batching bounds how many queries are
+//! in flight at once (`max_batch × n_shards` jobs), which is what keeps
+//! tail latency meaningful under load instead of queueing an entire
+//! dataset behind the first queries.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use rpq_data::Dataset;
+use rpq_graph::Neighbor;
+
+use super::metrics::{LatencyRecorder, LatencySummary};
+use super::pool::{default_workers, WorkerPool};
+use super::{merge_top_k, ShardQueryStats, ShardedIndex};
+
+/// Engine sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (default: one per available core).
+    pub workers: usize,
+    /// Queries in flight per batching wave (default 64).
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: default_workers(),
+            max_batch: 64,
+        }
+    }
+}
+
+/// What one [`ServeEngine::serve_batch`] call measured.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchReport {
+    /// Queries answered.
+    pub queries: usize,
+    /// Shards each query fanned out to.
+    pub shards: usize,
+    /// Worker threads that served the batch.
+    pub workers: usize,
+    /// End-to-end wall time for the whole batch, seconds.
+    pub wall_seconds: f32,
+    /// Throughput: `queries / wall_seconds`.
+    pub qps: f32,
+    /// Per-query latency percentiles for this batch.
+    pub latency: LatencySummary,
+    /// Mean next-hop selections per query (summed across shards).
+    pub mean_hops: f32,
+    /// Mean modelled disk time per query, milliseconds (0 when all shards
+    /// are in-memory).
+    pub mean_io_ms: f32,
+}
+
+/// A concurrent serving front-end over a [`ShardedIndex`].
+///
+/// The engine owns a persistent [`WorkerPool`]; constructing one is cheap
+/// relative to index build, and it can serve any number of batches. Results
+/// are bit-identical to [`ShardedIndex::search`] — concurrency changes
+/// only *when* shard searches run, never their outcome.
+pub struct ServeEngine {
+    index: Arc<ShardedIndex>,
+    pool: WorkerPool,
+    max_batch: usize,
+    recorder: LatencyRecorder,
+    served: AtomicUsize,
+}
+
+impl ServeEngine {
+    /// Spins up the worker pool (scratches pre-sized to the largest shard).
+    pub fn new(index: Arc<ShardedIndex>, cfg: ServeConfig) -> Self {
+        let pool = WorkerPool::new(cfg.workers, index.max_shard_len());
+        Self {
+            index,
+            pool,
+            max_batch: cfg.max_batch.max(1),
+            recorder: LatencyRecorder::new(),
+            served: AtomicUsize::new(0),
+        }
+    }
+
+    /// The underlying sharded index.
+    pub fn index(&self) -> &ShardedIndex {
+        &self.index
+    }
+
+    /// Worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Queries answered over the engine's lifetime.
+    pub fn queries_served(&self) -> usize {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Latency percentiles over every query the engine ever answered.
+    pub fn metrics(&self) -> LatencySummary {
+        self.recorder.snapshot()
+    }
+
+    /// Answers one query: fan out to all shards, merge, record latency.
+    pub fn search(&self, query: &[f32], ef: usize, k: usize) -> (Vec<Neighbor>, ShardQueryStats) {
+        assert_eq!(query.len(), self.index.dim(), "query dimension mismatch");
+        let n_shards = self.index.n_shards();
+        let query: Arc<[f32]> = query.into();
+        let (tx, rx) = mpsc::channel();
+        let t0 = Instant::now();
+        for s in 0..n_shards {
+            let index = Arc::clone(&self.index);
+            let query = Arc::clone(&query);
+            let tx = tx.clone();
+            self.pool.submit(move |scratch| {
+                let out = index.search_shard(s, &query, ef, k, scratch);
+                let _ = tx.send(out);
+            });
+        }
+        drop(tx);
+        let mut partials = Vec::with_capacity(n_shards);
+        let mut total = ShardQueryStats::default();
+        for (part, stats) in rx {
+            total.merge(&stats);
+            partials.push(part);
+        }
+        // A shard job that panicked dropped its sender without reporting;
+        // fail loudly rather than returning a top-k missing a shard.
+        assert_eq!(
+            partials.len(),
+            n_shards,
+            "{} shard search job(s) panicked",
+            n_shards - partials.len()
+        );
+        self.recorder.record(t0.elapsed());
+        self.served.fetch_add(1, Ordering::Relaxed);
+        (merge_top_k(&partials, k), total)
+    }
+
+    /// Answers a batch of queries concurrently, at most
+    /// [`ServeConfig::max_batch`] in flight at a time. Returns per-query
+    /// global top-`k` results (in query order) and the batch's measurements.
+    pub fn serve_batch(
+        &self,
+        queries: &Dataset,
+        ef: usize,
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, BatchReport) {
+        assert_eq!(queries.dim(), self.index.dim(), "query dimension mismatch");
+        let n_queries = queries.len();
+        let n_shards = self.index.n_shards();
+        let max_batch = self.max_batch;
+        let mut results: Vec<Vec<Neighbor>> = (0..n_queries).map(|_| Vec::new()).collect();
+        let mut latencies_us: Vec<f32> = Vec::with_capacity(n_queries);
+        let mut total = ShardQueryStats::default();
+        let t_batch = Instant::now();
+
+        let mut wave_start = 0;
+        while wave_start < n_queries {
+            let wave_end = (wave_start + max_batch).min(n_queries);
+            let (tx, rx) = mpsc::channel::<(usize, Vec<Neighbor>, ShardQueryStats)>();
+            let mut submitted = Vec::with_capacity(wave_end - wave_start);
+            for qi in wave_start..wave_end {
+                let query: Arc<[f32]> = queries.get(qi).into();
+                let t_submit = Instant::now();
+                for s in 0..n_shards {
+                    let index = Arc::clone(&self.index);
+                    let query = Arc::clone(&query);
+                    let tx = tx.clone();
+                    self.pool.submit(move |scratch| {
+                        let (part, stats) = index.search_shard(s, &query, ef, k, scratch);
+                        let _ = tx.send((qi, part, stats));
+                    });
+                }
+                submitted.push(t_submit);
+            }
+            drop(tx);
+
+            // Merge as queries complete; a query's latency is stamped when
+            // its last shard reports.
+            let mut pending: Vec<usize> = vec![n_shards; wave_end - wave_start];
+            let mut partials: Vec<Vec<Vec<Neighbor>>> =
+                (wave_start..wave_end).map(|_| Vec::new()).collect();
+            for (qi, part, stats) in rx {
+                let w = qi - wave_start;
+                total.merge(&stats);
+                partials[w].push(part);
+                pending[w] -= 1;
+                if pending[w] == 0 {
+                    let us = submitted[w].elapsed().as_secs_f32() * 1e6;
+                    latencies_us.push(us);
+                    self.recorder.record_us(us);
+                    results[qi] = merge_top_k(&partials[w], k);
+                    partials[w].clear();
+                }
+            }
+            // Every sender is gone once rx closes; unfinished queries mean
+            // shard jobs died (panicked) without reporting. Returning their
+            // empty result vectors would be silently wrong — fail loudly.
+            let lost: usize = pending.iter().sum();
+            assert_eq!(lost, 0, "{lost} shard search job(s) panicked mid-batch");
+            wave_start = wave_end;
+        }
+
+        let wall = t_batch.elapsed().as_secs_f32().max(1e-9);
+        self.served.fetch_add(n_queries, Ordering::Relaxed);
+        let report = BatchReport {
+            queries: n_queries,
+            shards: n_shards,
+            workers: self.pool.workers(),
+            wall_seconds: wall,
+            qps: n_queries as f32 / wall,
+            latency: LatencySummary::from_samples(&latencies_us),
+            mean_hops: total.hops as f32 / n_queries.max(1) as f32,
+            mean_io_ms: total.io_seconds * 1e3 / n_queries.max(1) as f32,
+        };
+        (results, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_data::synth::{SynthConfig, ValueTransform};
+    use rpq_graph::{HnswConfig, ProximityGraph, SearchScratch};
+    use rpq_quant::{PqConfig, ProductQuantizer};
+
+    fn setup(n: usize, seed: u64) -> (Dataset, Dataset) {
+        let data = SynthConfig {
+            dim: 8,
+            intrinsic_dim: 4,
+            clusters: 4,
+            cluster_std: 0.8,
+            noise_std: 0.05,
+            transform: ValueTransform::Identity,
+        }
+        .generate(n + 16, seed);
+        data.split_at(n)
+    }
+
+    fn graph_builder(part: &Dataset) -> ProximityGraph {
+        HnswConfig {
+            m: 8,
+            ef_construction: 40,
+            seed: 3,
+        }
+        .build(part)
+    }
+
+    fn engine(n: usize, seed: u64, shards: usize, cfg: ServeConfig) -> (ServeEngine, Dataset) {
+        let (base, queries) = setup(n, seed);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let index = Arc::new(ShardedIndex::build_in_memory(
+            &pq,
+            &base,
+            shards,
+            graph_builder,
+        ));
+        (ServeEngine::new(index, cfg), queries)
+    }
+
+    #[test]
+    fn concurrent_results_match_sequential_reference() {
+        let (eng, queries) = engine(300, 21, 3, ServeConfig::default());
+        let mut scratch = SearchScratch::new();
+        let (batch, report) = eng.serve_batch(&queries, 40, 8);
+        assert_eq!(batch.len(), queries.len());
+        for (qi, got) in batch.iter().enumerate() {
+            let (want, _) = eng.index().search(queries.get(qi), 40, 8, &mut scratch);
+            assert_eq!(
+                got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                want.iter().map(|n| n.id).collect::<Vec<_>>(),
+                "query {qi} diverged",
+            );
+        }
+        assert_eq!(report.queries, queries.len());
+        assert!(report.qps > 0.0);
+        assert!(report.mean_hops > 0.0);
+        assert_eq!(report.mean_io_ms, 0.0);
+    }
+
+    #[test]
+    fn single_query_matches_batch_of_one() {
+        let (eng, queries) = engine(200, 22, 2, ServeConfig::default());
+        let q = queries.get(0);
+        let (one, stats) = eng.search(q, 30, 5);
+        let single = queries.subset(&[0]);
+        let (batch, _) = eng.serve_batch(&single, 30, 5);
+        assert_eq!(
+            one.iter().map(|n| n.id).collect::<Vec<_>>(),
+            batch[0].iter().map(|n| n.id).collect::<Vec<_>>(),
+        );
+        assert!(stats.hops > 0);
+    }
+
+    #[test]
+    fn batching_waves_preserve_order_and_coverage() {
+        let cfg = ServeConfig {
+            workers: 2,
+            max_batch: 3, // force multiple waves over the query set
+        };
+        let (eng, queries) = engine(200, 23, 2, cfg);
+        let (batch, report) = eng.serve_batch(&queries, 30, 5);
+        assert_eq!(batch.len(), queries.len());
+        assert!(batch.iter().all(|r| !r.is_empty()));
+        assert_eq!(report.latency.count, queries.len());
+        assert!(report.latency.p50_us <= report.latency.p99_us);
+    }
+
+    #[test]
+    fn engine_metrics_accumulate_across_batches() {
+        let (eng, queries) = engine(150, 24, 2, ServeConfig::default());
+        assert_eq!(eng.queries_served(), 0);
+        let _ = eng.serve_batch(&queries, 20, 5);
+        let _ = eng.search(queries.get(0), 20, 5);
+        assert_eq!(eng.queries_served(), queries.len() + 1);
+        assert_eq!(eng.metrics().count, queries.len() + 1);
+    }
+
+    #[test]
+    fn empty_batch_reports_zeroes() {
+        let (eng, queries) = engine(120, 25, 2, ServeConfig::default());
+        let empty = Dataset::new(queries.dim());
+        let (results, report) = eng.serve_batch(&empty, 20, 5);
+        assert!(results.is_empty());
+        assert_eq!(report.queries, 0);
+        assert_eq!(report.latency.count, 0);
+    }
+}

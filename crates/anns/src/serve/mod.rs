@@ -1,0 +1,571 @@
+//! Sharded concurrent serving layer (DESIGN.md §7).
+//!
+//! The offline [`crate::harness`] answers "how good is one index"; this
+//! module answers "how do we serve it": the base set is partitioned across
+//! `N` independent shards (each a full [`InMemoryIndex`] or
+//! [`DiskIndex`] over its partition), every query fans out to all shards
+//! through a persistent [`WorkerPool`] whose workers each reuse one
+//! [`rpq_graph::SearchScratch`], and the per-shard top-k lists are merged
+//! into a global top-k. [`ServeEngine`] adds request batching and a
+//! latency/QPS collector reporting p50/p95/p99 tails.
+//!
+//! Sharding preserves the result contract: all shards share one trained
+//! compressor, so a vector's ADC distance is identical wherever it lives,
+//! and merging per-shard top-k lists over a disjoint partition is exactly
+//! the global top-k of the union (DESIGN.md §7.3). The integration tests
+//! pin this down by checking sharded == unsharded results at exhaustive
+//! beam widths.
+
+pub mod engine;
+pub mod metrics;
+pub mod pool;
+
+pub use engine::{BatchReport, ServeConfig, ServeEngine};
+pub use metrics::{LatencyRecorder, LatencySummary};
+pub use pool::{default_workers, WorkerPool};
+
+use std::io;
+
+use rpq_data::Dataset;
+use rpq_graph::{Neighbor, ProximityGraph, SearchScratch};
+use rpq_quant::VectorCompressor;
+
+use crate::disk::{DiskIndex, DiskIndexConfig};
+use crate::memory::InMemoryIndex;
+
+/// Per-shard, per-query cost counters (superset of the in-memory and
+/// hybrid stats so both backends fit one serving path).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ShardQueryStats {
+    /// Next-hop selections.
+    pub hops: usize,
+    /// Distance-estimator invocations.
+    pub dist_comps: usize,
+    /// Sector reads issued (0 for in-memory shards).
+    pub io_reads: usize,
+    /// Modelled I/O seconds (0 for in-memory shards).
+    pub io_seconds: f32,
+}
+
+impl ShardQueryStats {
+    /// Accumulates another shard's counters (fan-out totals per query).
+    pub fn merge(&mut self, other: &ShardQueryStats) {
+        self.hops += other.hops;
+        self.dist_comps += other.dist_comps;
+        self.io_reads += other.io_reads;
+        self.io_seconds += other.io_seconds;
+    }
+}
+
+/// One searchable partition: anything that can answer a top-k query over
+/// its local id space. Implemented by both deployment scenarios' indexes
+/// so a [`ShardedIndex`] can mix them.
+pub trait ShardBackend: Send + Sync {
+    /// Top-`k` under beam width `ef`, ids local to this shard. In-memory
+    /// backends route with `scratch`; disk backends ignore it.
+    fn search_local(
+        &self,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats);
+
+    /// Vectors indexed by this shard.
+    fn shard_len(&self) -> usize;
+
+    /// RAM held by this shard (codes + model + graph or cache).
+    fn resident_bytes(&self) -> usize;
+}
+
+impl<C: VectorCompressor> ShardBackend for InMemoryIndex<C> {
+    fn search_local(
+        &self,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        let (res, stats) = self.search(query, ef, k, scratch);
+        (
+            res,
+            ShardQueryStats {
+                hops: stats.hops,
+                dist_comps: stats.dist_comps,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn shard_len(&self) -> usize {
+        self.len()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+}
+
+impl<C: VectorCompressor> ShardBackend for DiskIndex<C> {
+    fn search_local(
+        &self,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        _scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        let (res, stats) = self.search(query, ef, k);
+        (
+            res,
+            ShardQueryStats {
+                hops: stats.hops,
+                dist_comps: stats.dist_comps,
+                io_reads: stats.io_reads,
+                io_seconds: stats.io_seconds,
+            },
+        )
+    }
+
+    fn shard_len(&self) -> usize {
+        self.len()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.resident_bytes()
+    }
+}
+
+/// One shard: a backend plus the map from its local ids back to global
+/// dataset ids.
+pub struct Shard {
+    backend: Box<dyn ShardBackend>,
+    global_ids: Vec<u32>,
+}
+
+impl Shard {
+    /// Wraps a backend with its local→global id map.
+    pub fn new(backend: Box<dyn ShardBackend>, global_ids: Vec<u32>) -> Self {
+        assert_eq!(
+            backend.shard_len(),
+            global_ids.len(),
+            "id map must cover the shard"
+        );
+        Self {
+            backend,
+            global_ids,
+        }
+    }
+
+    /// Vectors in this shard.
+    pub fn len(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// True when the shard indexes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.global_ids.is_empty()
+    }
+}
+
+/// Round-robin assignment of `n` global ids to `n_shards` partitions —
+/// deterministic, balanced to within one vector, and cluster-agnostic (a
+/// hash-partition stand-in that keeps tests seedable).
+pub fn partition_round_robin(n: usize, n_shards: usize) -> Vec<Vec<u32>> {
+    let n_shards = n_shards.max(1);
+    let mut parts = vec![Vec::with_capacity(n.div_ceil(n_shards)); n_shards];
+    for i in 0..n {
+        parts[i % n_shards].push(i as u32);
+    }
+    parts
+}
+
+/// Guards the shard builders against empty partitions, with the error at
+/// the misuse site instead of deep inside a graph constructor.
+fn assert_shardable(n: usize, n_shards: usize) {
+    assert!(
+        n_shards >= 1 && n_shards <= n,
+        "cannot split {n} vectors into {n_shards} non-empty shards"
+    );
+}
+
+/// Merges per-shard top-k lists (already in global ids, each sorted or
+/// not) into the global top-`k`. Over a disjoint partition this equals the
+/// top-`k` of the union — the shard-merge invariant the serving tests pin.
+pub fn merge_top_k(partials: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = partials.iter().flatten().copied().collect();
+    all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    all.truncate(k);
+    all
+}
+
+/// A dataset partitioned across independent single-machine indexes.
+///
+/// Build one with [`ShardedIndex::build_in_memory`] /
+/// [`ShardedIndex::build_on_disk`] (round-robin partition, shared
+/// compressor, one graph per shard) or assemble arbitrary backends with
+/// [`ShardedIndex::from_shards`]. Query it directly with
+/// [`ShardedIndex::search`], or concurrently through a [`ServeEngine`].
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use rpq_anns::serve::{ServeConfig, ServeEngine, ShardedIndex};
+/// use rpq_data::synth::{SynthConfig, ValueTransform};
+/// use rpq_graph::HnswConfig;
+/// use rpq_quant::{PqConfig, ProductQuantizer};
+///
+/// let data = SynthConfig {
+///     dim: 8,
+///     intrinsic_dim: 4,
+///     clusters: 2,
+///     cluster_std: 0.5,
+///     noise_std: 0.05,
+///     transform: ValueTransform::Identity,
+/// }
+/// .generate(130, 3);
+/// let (base, queries) = data.split_at(120);
+/// // One compressor shared by all shards keeps ADC distances
+/// // shard-invariant, which is what makes the cross-shard merge exact.
+/// let pq = ProductQuantizer::train(
+///     &PqConfig { m: 4, k: 16, ..Default::default() },
+///     &base,
+/// );
+/// let index = Arc::new(ShardedIndex::build_in_memory(&pq, &base, 2, |part| {
+///     HnswConfig { m: 8, ef_construction: 32, seed: 0 }.build(part)
+/// }));
+/// assert_eq!(index.len(), 120);
+///
+/// let engine = ServeEngine::new(Arc::clone(&index), ServeConfig::default());
+/// let (results, report) = engine.serve_batch(&queries, 32, 5);
+/// assert_eq!(results.len(), queries.len());
+/// assert!(report.qps > 0.0);
+/// assert!(report.latency.p50_us <= report.latency.p99_us);
+/// ```
+pub struct ShardedIndex {
+    shards: Vec<Shard>,
+    dim: usize,
+    len: usize,
+}
+
+impl ShardedIndex {
+    /// Assembles an index from prepared shards. Panics if shards' global
+    /// ids overlap.
+    pub fn from_shards(shards: Vec<Shard>, dim: usize) -> Self {
+        let len = shards.iter().map(Shard::len).sum();
+        let mut seen = std::collections::HashSet::with_capacity(len);
+        for shard in &shards {
+            for &g in &shard.global_ids {
+                assert!(seen.insert(g), "global id {g} appears in two shards");
+            }
+        }
+        Self { shards, dim, len }
+    }
+
+    /// Partitions `data` round-robin into `n_shards` in-memory shards.
+    /// Every shard gets a clone of the same trained `compressor` (so ADC
+    /// distances are shard-invariant) and its own proximity graph from
+    /// `build_graph`. Panics if `n_shards` exceeds the dataset size (an
+    /// empty shard cannot carry a graph).
+    pub fn build_in_memory<C>(
+        compressor: &C,
+        data: &Dataset,
+        n_shards: usize,
+        build_graph: impl Fn(&Dataset) -> ProximityGraph,
+    ) -> Self
+    where
+        C: VectorCompressor + Clone + 'static,
+    {
+        assert_shardable(data.len(), n_shards);
+        let shards = partition_round_robin(data.len(), n_shards)
+            .into_iter()
+            .map(|ids| {
+                let local: Vec<usize> = ids.iter().map(|&g| g as usize).collect();
+                let part = data.subset(&local);
+                let graph = build_graph(&part);
+                let index = InMemoryIndex::build(compressor.clone(), &part, graph);
+                Shard::new(Box::new(index), ids)
+            })
+            .collect();
+        Self::from_shards(shards, data.dim())
+    }
+
+    /// Partitions `data` round-robin into `n_shards` hybrid (disk) shards.
+    /// Each shard's store file is `cfg.path` with `.shard<i>` appended.
+    /// Panics if `n_shards` exceeds the dataset size.
+    pub fn build_on_disk<C>(
+        compressor: &C,
+        data: &Dataset,
+        n_shards: usize,
+        cfg: &DiskIndexConfig,
+        build_graph: impl Fn(&Dataset) -> ProximityGraph,
+    ) -> io::Result<Self>
+    where
+        C: VectorCompressor + Clone + 'static,
+    {
+        assert_shardable(data.len(), n_shards);
+        let mut shards = Vec::new();
+        for (i, ids) in partition_round_robin(data.len(), n_shards)
+            .into_iter()
+            .enumerate()
+        {
+            let local: Vec<usize> = ids.iter().map(|&g| g as usize).collect();
+            let part = data.subset(&local);
+            let graph = build_graph(&part);
+            let mut shard_cfg = cfg.clone();
+            let mut os = shard_cfg.path.into_os_string();
+            os.push(format!(".shard{i}"));
+            shard_cfg.path = os.into();
+            let index = DiskIndex::build(compressor.clone(), &part, &graph, shard_cfg)?;
+            shards.push(Shard::new(Box::new(index), ids));
+        }
+        Ok(Self::from_shards(shards, data.dim()))
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total vectors across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no shard indexes anything.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Query dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Largest shard size — what serving workers size their scratch to.
+    pub fn max_shard_len(&self) -> usize {
+        self.shards.iter().map(Shard::len).max().unwrap_or(0)
+    }
+
+    /// Total RAM held across shards (backends + id maps).
+    pub fn resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.backend.resident_bytes() + s.global_ids.len() * std::mem::size_of::<u32>())
+            .sum()
+    }
+
+    /// Searches one shard; returned ids are global.
+    pub fn search_shard(
+        &self,
+        shard: usize,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        let s = &self.shards[shard];
+        let (mut res, stats) = s.backend.search_local(query, ef, k, scratch);
+        for n in &mut res {
+            n.id = s.global_ids[n.id as usize];
+        }
+        (res, stats)
+    }
+
+    /// Fans one query out to every shard **sequentially** on the calling
+    /// thread and merges: the reference implementation the concurrent
+    /// [`ServeEngine`] must agree with.
+    pub fn search(
+        &self,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut partials = Vec::with_capacity(self.shards.len());
+        let mut total = ShardQueryStats::default();
+        for s in 0..self.shards.len() {
+            let (part, stats) = self.search_shard(s, query, ef, k, scratch);
+            total.merge(&stats);
+            partials.push(part);
+        }
+        (merge_top_k(&partials, k), total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_data::brute_force_knn;
+    use rpq_data::synth::{SynthConfig, ValueTransform};
+    use rpq_graph::HnswConfig;
+    use rpq_quant::{PqConfig, ProductQuantizer};
+
+    fn setup(n: usize, seed: u64) -> (Dataset, Dataset) {
+        let data = SynthConfig {
+            dim: 8,
+            intrinsic_dim: 4,
+            clusters: 4,
+            cluster_std: 0.8,
+            noise_std: 0.05,
+            transform: ValueTransform::Identity,
+        }
+        .generate(n + 10, seed);
+        data.split_at(n)
+    }
+
+    fn graph_builder(part: &Dataset) -> ProximityGraph {
+        HnswConfig {
+            m: 8,
+            ef_construction: 40,
+            seed: 7,
+        }
+        .build(part)
+    }
+
+    #[test]
+    fn round_robin_partition_is_disjoint_and_complete() {
+        for n_shards in [1, 2, 3, 5] {
+            let parts = partition_round_robin(103, n_shards);
+            assert_eq!(parts.len(), n_shards);
+            let mut all: Vec<u32> = parts.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..103).collect::<Vec<u32>>(), "{n_shards} shards");
+            let (min, max) = parts.iter().fold((usize::MAX, 0), |(lo, hi), p| {
+                (lo.min(p.len()), hi.max(p.len()))
+            });
+            assert!(max - min <= 1, "unbalanced: {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_global_sort_of_union() {
+        let partials = vec![
+            vec![Neighbor { id: 3, dist: 0.5 }, Neighbor { id: 9, dist: 1.5 }],
+            vec![Neighbor { id: 4, dist: 0.2 }, Neighbor { id: 1, dist: 0.5 }],
+            vec![],
+        ];
+        let merged = merge_top_k(&partials, 3);
+        let ids: Vec<u32> = merged.iter().map(|n| n.id).collect();
+        // 0.2 first; the two 0.5s tie-break by id.
+        assert_eq!(ids, vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn sharded_exhaustive_search_matches_single_index() {
+        let (base, queries) = setup(240, 11);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let single = InMemoryIndex::build(pq.clone(), &base, graph_builder(&base));
+        let sharded = ShardedIndex::build_in_memory(&pq, &base, 3, graph_builder);
+        assert_eq!(sharded.len(), base.len());
+        assert_eq!(sharded.n_shards(), 3);
+
+        // ef >= n makes beam search exhaustive on a connected graph, so
+        // both sides return the exact ADC top-k and must agree id-for-id.
+        let ef = base.len();
+        let mut scratch = SearchScratch::new();
+        for q in queries.iter() {
+            let (want, _) = single.search(q, ef, 10, &mut scratch);
+            let (got, stats) = sharded.search(q, ef, 10, &mut scratch);
+            assert_eq!(
+                got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                want.iter().map(|n| n.id).collect::<Vec<_>>(),
+            );
+            assert!(stats.hops > 0);
+            assert_eq!(stats.io_reads, 0, "in-memory shards must not do I/O");
+        }
+    }
+
+    #[test]
+    fn disk_shards_report_io_and_find_neighbors() {
+        let (base, queries) = setup(200, 12);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let dir = std::env::temp_dir().join("rpq-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = DiskIndexConfig::new(dir.join("sharded.store"));
+        let sharded = ShardedIndex::build_on_disk(&pq, &base, 2, &cfg, graph_builder).unwrap();
+        let gt = brute_force_knn(&base, &queries, 5);
+        let mut scratch = SearchScratch::new();
+        let mut results = Vec::new();
+        for q in queries.iter() {
+            let (res, stats) = sharded.search(q, 60, 5, &mut scratch);
+            assert!(stats.io_reads > 0, "disk shards must hit the store");
+            assert!(stats.io_seconds > 0.0);
+            results.push(res.iter().map(|n| n.id).collect::<Vec<_>>());
+        }
+        assert!(gt.recall(&results) > 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty shards")]
+    fn more_shards_than_vectors_rejected_up_front() {
+        let (base, _) = setup(4, 15);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 4,
+                ..Default::default()
+            },
+            &base,
+        );
+        let _ = ShardedIndex::build_in_memory(&pq, &base, 5, graph_builder);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in two shards")]
+    fn overlapping_ids_rejected() {
+        let (base, _) = setup(40, 13);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let mk = |ids: Vec<u32>| {
+            let local: Vec<usize> = ids.iter().map(|&g| g as usize).collect();
+            let part = base.subset(&local);
+            let graph = graph_builder(&part);
+            Shard::new(
+                Box::new(InMemoryIndex::build(pq.clone(), &part, graph)),
+                ids,
+            )
+        };
+        let a = mk((0..30).collect());
+        let b = mk((25..40).collect());
+        let _ = ShardedIndex::from_shards(vec![a, b], base.dim());
+    }
+
+    #[test]
+    fn resident_bytes_cover_all_shards() {
+        let (base, _) = setup(120, 14);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let sharded = ShardedIndex::build_in_memory(&pq, &base, 2, graph_builder);
+        // At minimum the id maps plus per-shard codes must show up.
+        assert!(sharded.resident_bytes() > base.len() * std::mem::size_of::<u32>());
+        assert!(sharded.max_shard_len() == 60);
+    }
+}

@@ -4,18 +4,19 @@
 //! cargo run -p rpq-bench --release --bin experiments -- all
 //! cargo run -p rpq-bench --release --bin experiments -- fig5 table6
 //! RPQ_SCALE=ci cargo run -p rpq-bench --release --bin experiments -- table2
+//! cargo run -p rpq-bench --release --bin experiments -- serve
 //! ```
 //!
 //! Results print as markdown and persist to `bench_results/<id>.json`.
 
 use std::time::Instant;
 
-use rpq_bench::experiments::{ablation, artifacts, curves, sensitivity};
+use rpq_bench::experiments::{ablation, artifacts, curves, sensitivity, serve};
 use rpq_bench::Scale;
 
 const ALL: &[&str] = &[
     "table2", "fig4", "fig5", "fig6", "fig7", "table4", "table5", "table6", "table7", "fig8",
-    "fig9", "fig10", "fig11", "fig12",
+    "fig9", "fig10", "fig11", "fig12", "serve",
 ];
 
 fn main() {
@@ -69,6 +70,7 @@ fn main() {
             }
             "fig11" => sensitivity::fig11(&scale).print(),
             "fig12" => sensitivity::fig12(&scale).print(),
+            "serve" => serve::serve(&scale).print(),
             _ => unreachable!(),
         }
         eprintln!("[{id}] done in {:.1}s", start.elapsed().as_secs_f32());

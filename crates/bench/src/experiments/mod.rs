@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod artifacts;
 pub mod curves;
 pub mod sensitivity;
+pub mod serve;
 
 use std::sync::Arc;
 

@@ -1,0 +1,158 @@
+//! The `serve` experiment: serving-layer throughput and tail latency vs
+//! shard count (DESIGN.md §7.5 — no paper counterpart; this measures the
+//! repo's own production-path subsystem).
+//!
+//! One SIFT-like dataset, one shared PQ compressor, one HNSW graph per
+//! shard. For every shard count in [`Scale::shard_counts`] the query set is
+//! served through a [`ServeEngine`] (worker pool = available cores) at a
+//! low / mid / high beam width, reporting recall@k, QPS, and the
+//! p50/p95/p99 per-query latency tails. Recall stays flat across shard
+//! counts (the merge invariant); QPS and tails show what fan-out costs or
+//! buys at each operating point.
+
+use std::sync::Arc;
+
+use serde::Serialize;
+
+use rpq_anns::serve::{ServeConfig, ServeEngine, ShardedIndex};
+use rpq_data::synth::DatasetKind;
+use rpq_graph::HnswConfig;
+use rpq_quant::{PqConfig, ProductQuantizer};
+
+use crate::report::{fmt, write_json, Report};
+use crate::scale::Scale;
+use crate::setup::make_bench;
+
+/// One (shard count, beam width) operating point of the serving sweep.
+#[derive(Serialize, Clone, Debug)]
+pub struct ServePoint {
+    pub shards: usize,
+    pub workers: usize,
+    pub ef: usize,
+    pub recall: f32,
+    pub qps: f32,
+    pub p50_us: f32,
+    pub p95_us: f32,
+    pub p99_us: f32,
+    pub mean_hops: f32,
+}
+
+/// Beam widths exercised per shard count: the sweep's low / mid / high
+/// operating points (a full ef sweep would dominate runtime without
+/// changing the shard-count story).
+fn serve_efs(scale: &Scale) -> Vec<usize> {
+    let efs = &scale.efs;
+    let mut picked = vec![
+        efs[0],
+        efs[efs.len() / 2],
+        *efs.last().expect("scale has beam widths"),
+    ];
+    picked.dedup();
+    picked
+}
+
+/// **serve**: QPS + latency percentiles vs shard count at fixed recall
+/// operating points.
+pub fn serve(scale: &Scale) -> Report {
+    let mut report = Report::new(
+        "serve",
+        "Serving layer: QPS and tail latency vs shard count",
+        &scale.label(),
+        &[
+            "Shards",
+            "Workers",
+            "ef",
+            "Recall@10",
+            "QPS",
+            "p50 µs",
+            "p95 µs",
+            "p99 µs",
+            "Hops",
+        ],
+    );
+    let bench = make_bench(
+        DatasetKind::Sift,
+        scale.n_base,
+        scale.n_query,
+        scale.k,
+        scale.seed,
+    );
+    let pq = ProductQuantizer::train(
+        &PqConfig {
+            m: scale.m,
+            k: scale.kk,
+            seed: scale.seed,
+            ..Default::default()
+        },
+        &bench.base,
+    );
+    let efs = serve_efs(scale);
+    let seed = scale.seed;
+
+    let mut points = Vec::new();
+    for &n_shards in &scale.shard_counts {
+        let index = Arc::new(ShardedIndex::build_in_memory(
+            &pq,
+            &bench.base,
+            n_shards,
+            |part| {
+                HnswConfig {
+                    m: 16,
+                    ef_construction: 100,
+                    seed,
+                }
+                .build(part)
+            },
+        ));
+        let engine = ServeEngine::new(Arc::clone(&index), ServeConfig::default());
+        for &ef in &efs {
+            // Warm-up wave so thread spin-up never lands in the measured
+            // tail, then the measured batch.
+            let _ = engine.serve_batch(&bench.queries, ef, scale.k);
+            let (results, batch) = engine.serve_batch(&bench.queries, ef, scale.k);
+            let ids: Vec<Vec<u32>> = results
+                .iter()
+                .map(|r| r.iter().map(|n| n.id).collect())
+                .collect();
+            let point = ServePoint {
+                shards: n_shards,
+                workers: batch.workers,
+                ef,
+                recall: bench.gt.recall(&ids),
+                qps: batch.qps,
+                p50_us: batch.latency.p50_us,
+                p95_us: batch.latency.p95_us,
+                p99_us: batch.latency.p99_us,
+                mean_hops: batch.mean_hops,
+            };
+            report.push_row(vec![
+                point.shards.to_string(),
+                point.workers.to_string(),
+                point.ef.to_string(),
+                fmt(point.recall),
+                fmt(point.qps),
+                fmt(point.p50_us),
+                fmt(point.p95_us),
+                fmt(point.p99_us),
+                fmt(point.mean_hops),
+            ]);
+            points.push(point);
+        }
+    }
+    write_json("serve", &points);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_efs_are_sorted_unique_and_from_scale() {
+        let scale = Scale::ci();
+        let efs = serve_efs(&scale);
+        assert!(!efs.is_empty() && efs.len() <= 3);
+        assert!(efs.windows(2).all(|w| w[0] < w[1]));
+        assert!(efs.iter().all(|ef| scale.efs.contains(ef)));
+    }
+}

@@ -23,6 +23,8 @@ pub struct Scale {
     /// Dataset sizes for the scalability experiments (stand-in for the
     /// paper's 1M→1B axis).
     pub scalability_sizes: Vec<usize>,
+    /// Shard counts swept by the `serve` experiment (DESIGN.md §7).
+    pub shard_counts: Vec<usize>,
     /// RPQ training epochs / steps per epoch for experiment runs.
     pub rpq_epochs: usize,
     pub rpq_steps: usize,
@@ -41,6 +43,7 @@ impl Scale {
             kk: 32,
             m: 8,
             scalability_sizes: vec![400, 800, 1600],
+            shard_counts: vec![1, 2],
             rpq_epochs: 2,
             rpq_steps: 8,
             seed: 42,
@@ -63,6 +66,7 @@ impl Scale {
             kk: 64,
             m: 8,
             scalability_sizes: vec![1000, 4000, 12000, 30000],
+            shard_counts: vec![1, 2, 4],
             rpq_epochs: 3,
             rpq_steps: 15,
             seed: 42,
@@ -79,6 +83,7 @@ impl Scale {
             kk: 256,
             m: 8,
             scalability_sizes: vec![5000, 20_000, 80_000, 200_000],
+            shard_counts: vec![1, 2, 4, 8],
             rpq_epochs: 4,
             rpq_steps: 25,
             seed: 42,

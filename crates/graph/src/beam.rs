@@ -83,6 +83,35 @@ impl SearchScratch {
         Self::default()
     }
 
+    /// A scratch whose visited map is pre-sized for graphs of up to `n`
+    /// vertices, so even the first query allocates nothing. Long-lived
+    /// search workers (e.g. the serving layer's thread pool, DESIGN.md §7)
+    /// size their scratch to the largest index they route to.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            visited: vec![false; n],
+            touched: Vec::with_capacity(256),
+        }
+    }
+
+    /// Heap bytes currently held — the per-worker memory cost of keeping a
+    /// scratch alive between queries.
+    pub fn memory_bytes(&self) -> usize {
+        self.visited.capacity() * std::mem::size_of::<bool>()
+            + self.touched.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Forgets all visited marks without releasing memory. `beam_search`
+    /// resets incrementally on entry, so calling this between queries is
+    /// optional; it exists for callers that want a scratch handed to a new
+    /// index in a known-clean state.
+    pub fn reset(&mut self) {
+        for &t in &self.touched {
+            self.visited[t as usize] = false;
+        }
+        self.touched.clear();
+    }
+
     fn prepare(&mut self, n: usize) {
         if self.visited.len() < n {
             self.visited.resize(n, false);
@@ -319,6 +348,28 @@ mod tests {
             let (res, _) = beam_search(&g, &est, 8, 1, &mut scratch);
             assert_eq!(res[0].id, target as u32);
         }
+    }
+
+    #[test]
+    fn presized_scratch_matches_default_scratch() {
+        let (ds, g) = line_world(40);
+        let q = [23.0f32];
+        let est = ExactEstimator::new(&ds, &q);
+        let mut fresh = SearchScratch::new();
+        let mut sized = SearchScratch::with_capacity(40);
+        assert!(sized.memory_bytes() >= 40);
+        let (a, _) = beam_search(&g, &est, 8, 3, &mut fresh);
+        let (b, _) = beam_search(&g, &est, 8, 3, &mut sized);
+        assert_eq!(
+            a.iter().map(|n| n.id).collect::<Vec<_>>(),
+            b.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+        sized.reset();
+        let (c, _) = beam_search(&g, &est, 8, 3, &mut sized);
+        assert_eq!(
+            b.iter().map(|n| n.id).collect::<Vec<_>>(),
+            c.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use std::ops::{Range, RangeInclusive};
 
-/// Lengths acceptable to [`vec`]: an exact size or a size range.
+/// Lengths acceptable to [`vec()`]: an exact size or a size range.
 pub trait IntoSizeRange {
     /// Half-open `[min, max)` bounds.
     fn bounds(&self) -> (usize, usize);
