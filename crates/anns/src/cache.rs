@@ -16,6 +16,9 @@ use rpq_graph::ProximityGraph;
 /// build time with the nodes nearest (in hops) to the entry.
 pub struct NodeCache {
     entries: HashMap<u32, CachedNode>,
+    /// Nodes marked during the warm-up BFS (cached nodes + the frontier
+    /// enqueued while filling) — the measure of warm-up work.
+    warm_work: usize,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
 }
@@ -47,17 +50,23 @@ impl CacheStats {
 impl NodeCache {
     /// Caches the `capacity` nodes closest to the entry by BFS, copying
     /// their adjacency and vectors.
+    ///
+    /// Warm-up work is bounded by the cached region's frontier: once the
+    /// cache is full no further neighbors are marked or enqueued, so the
+    /// BFS touches at most `capacity · (max_degree + 1)` nodes however
+    /// large the graph is.
     pub fn warm(graph: &ProximityGraph, data: &Dataset, capacity: usize) -> Self {
         assert_eq!(graph.len(), data.len(), "graph/dataset size mismatch");
         let mut entries = HashMap::with_capacity(capacity.min(graph.len()));
+        let mut warm_work = 0usize;
         let mut seen = vec![false; graph.len()];
         let mut queue = std::collections::VecDeque::new();
-        queue.push_back(graph.entry());
-        seen[graph.entry() as usize] = true;
+        if capacity > 0 {
+            queue.push_back(graph.entry());
+            seen[graph.entry() as usize] = true;
+            warm_work += 1;
+        }
         while let Some(v) = queue.pop_front() {
-            if entries.len() >= capacity {
-                break;
-            }
             entries.insert(
                 v,
                 CachedNode {
@@ -65,18 +74,30 @@ impl NodeCache {
                     vector: data.get(v as usize).to_vec(),
                 },
             );
+            if entries.len() >= capacity {
+                break; // full: stop expanding, leave the frontier alone
+            }
             for &u in graph.neighbors(v) {
                 if !seen[u as usize] {
                     seen[u as usize] = true;
+                    warm_work += 1;
                     queue.push_back(u);
                 }
             }
         }
         Self {
             entries,
+            warm_work,
             hits: std::sync::atomic::AtomicU64::new(0),
             misses: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Nodes marked during the warm-up BFS — cached nodes plus the
+    /// frontier enqueued while the cache was still filling. Bounded by
+    /// `capacity · (max_degree + 1)` regardless of graph size.
+    pub fn warm_work(&self) -> usize {
+        self.warm_work
     }
 
     /// Number of cached nodes.
@@ -183,6 +204,31 @@ mod tests {
         assert_eq!(s.hits, hits);
         assert_eq!(s.misses, misses);
         assert!(s.hit_rate() > 0.0 && s.hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn warm_work_is_bounded_by_the_capacity_frontier() {
+        let (data, graph) = setup(400);
+        let max_degree = (0..graph.len() as u32)
+            .map(|v| graph.neighbors(v).len())
+            .max()
+            .unwrap();
+        for capacity in [1usize, 10, 50] {
+            let cache = NodeCache::warm(&graph, &data, capacity);
+            assert_eq!(cache.len(), capacity);
+            // Marked nodes = cached nodes + their enqueued frontier; never
+            // the whole graph for a small cache.
+            assert!(
+                cache.warm_work() <= capacity * (max_degree + 1),
+                "capacity {capacity}: warm-up marked {} nodes (max degree {max_degree})",
+                cache.warm_work()
+            );
+        }
+        // Capacity 1 is the sharpest case: the entry is cached and nothing
+        // is expanded at all (the old code marked the entry's whole
+        // neighborhood before noticing it was full).
+        let one = NodeCache::warm(&graph, &data, 1);
+        assert_eq!(one.warm_work(), 1, "a full cache must not expand");
     }
 
     #[test]

@@ -2,9 +2,13 @@
 //! every evaluation figure.
 //!
 //! Queries run in parallel over the rayon pool (the paper evaluates with 8
-//! search threads). For the hybrid scenario, each query's modelled disk
-//! time is added to the measured compute wall-time, divided by the thread
-//! count — I/O parallelises across query threads exactly like compute.
+//! search threads; the pool width comes from `RPQ_THREADS` or the machine's
+//! available parallelism). For the hybrid scenario, each query's modelled
+//! disk time is added to the measured compute wall-time divided by the
+//! number of workers that **actually executed the batch**
+//! (`rayon::execution_width`, never more) — so modelled I/O overlaps
+//! across query threads exactly like compute does, and a single-threaded
+//! sweep charges the full I/O bill (see [`hybrid_qps`]).
 
 use rayon::prelude::*;
 use rpq_data::{Dataset, GroundTruth};
@@ -96,8 +100,34 @@ pub fn sweep_memory<C: VectorCompressor>(
         .collect()
 }
 
+/// The hybrid-scenario QPS model: modelled I/O time overlaps across the
+/// `overlap_workers` query threads that executed the batch, on top of the
+/// measured compute wall-time:
+/// `qps = n_queries / (wall_seconds + io_total_seconds / overlap_workers)`.
+///
+/// With one worker the full I/O bill is charged — dividing by anything
+/// larger than the executed worker count would silently inflate QPS by
+/// that factor (the bug this function exists to pin down).
+pub fn hybrid_qps(
+    n_queries: usize,
+    wall_seconds: f32,
+    io_total_seconds: f32,
+    overlap_workers: usize,
+) -> f32 {
+    let denom = wall_seconds.max(1e-9) + io_total_seconds / overlap_workers.max(1) as f32;
+    n_queries as f32 / denom
+}
+
+/// Number of pool workers a parallel sweep over `n_queries` actually
+/// runs on — the executor's own width for this batch (pool width capped
+/// by its chunk count), never more.
+fn sweep_workers(n_queries: usize) -> usize {
+    rayon::execution_width(n_queries)
+}
+
 /// Sweeps beam widths over a hybrid (disk) index. QPS charges the modelled
-/// I/O time: `total = wall_compute + Σ io_seconds / threads`.
+/// I/O time: `total = wall_compute + Σ io_seconds / workers`, where
+/// `workers` is the executed parallel width (see [`hybrid_qps`]).
 pub fn sweep_disk<C: VectorCompressor>(
     index: &DiskIndex<C>,
     queries: &Dataset,
@@ -105,7 +135,7 @@ pub fn sweep_disk<C: VectorCompressor>(
     k: usize,
     efs: &[usize],
 ) -> Vec<SweepPoint> {
-    let threads = rayon::current_num_threads().max(1) as f32;
+    let workers = sweep_workers(queries.len());
     efs.iter()
         .map(|&ef| {
             let start = std::time::Instant::now();
@@ -129,7 +159,7 @@ pub fn sweep_disk<C: VectorCompressor>(
             SweepPoint {
                 ef,
                 recall: gt.recall(&results),
-                qps: queries.len() as f32 / (wall + io_total / threads),
+                qps: hybrid_qps(queries.len(), wall, io_total, workers),
                 hops,
                 io_ms,
             }
@@ -261,6 +291,74 @@ mod tests {
         }
         // Reranked recall should be strong even at modest beams.
         assert!(points[1].recall > 0.8, "{points:?}");
+    }
+
+    #[test]
+    fn hybrid_qps_charges_full_io_on_one_worker() {
+        // 100 queries, 0.1 s of compute, 0.4 s of modelled I/O.
+        let sequential = hybrid_qps(100, 0.1, 0.4, 1);
+        assert!((sequential - 100.0 / 0.5).abs() < 1e-3, "{sequential}");
+        // Four workers overlap the I/O: 0.1 + 0.4/4.
+        let parallel = hybrid_qps(100, 0.1, 0.4, 4);
+        assert!((parallel - 100.0 / 0.2).abs() < 1e-3, "{parallel}");
+        // Zero workers is clamped, not a division by zero.
+        assert_eq!(hybrid_qps(100, 0.1, 0.4, 0), sequential);
+    }
+
+    #[test]
+    fn single_thread_sweep_charges_full_io_time() {
+        // Regression test for the divisor bug: sweep_disk used to divide
+        // the modelled I/O by `current_num_threads()` even when execution
+        // was sequential, inflating QPS by the machine's core count. Under
+        // one worker, QPS is bounded by the pure-I/O rate
+        // `1000 / io_ms_per_query` — a bound the buggy accounting breaks
+        // by ~the thread count whenever I/O dominates.
+        use crate::disk::{DiskIndex, DiskIndexConfig};
+        use rpq_graph::VamanaConfig;
+        let data = SynthConfig {
+            dim: 8,
+            intrinsic_dim: 4,
+            clusters: 4,
+            cluster_std: 0.8,
+            noise_std: 0.05,
+            transform: ValueTransform::Identity,
+        }
+        .generate(320, 9);
+        let (base, queries) = data.split_at(300);
+        let gt = brute_force_knn(&base, &queries, 5);
+        let graph = VamanaConfig {
+            r: 8,
+            l: 16,
+            ..Default::default()
+        }
+        .build(&base);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let dir = std::env::temp_dir().join("rpq-harness-io-accounting");
+        std::fs::create_dir_all(&dir).unwrap();
+        let index = DiskIndex::build(
+            pq,
+            &base,
+            &graph,
+            DiskIndexConfig::new(dir.join("sweep.store")),
+        )
+        .unwrap();
+        let points = rayon::with_num_threads(1, || sweep_disk(&index, &queries, &gt, 5, &[20]));
+        let p = &points[0];
+        assert!(p.io_ms > 0.0, "hybrid sweep must model I/O");
+        let io_bound_qps = 1000.0 / p.io_ms;
+        assert!(
+            p.qps <= io_bound_qps * 1.001,
+            "sequential sweep must charge full I/O: qps={} exceeds the \
+             one-worker I/O bound {io_bound_qps}",
+            p.qps
+        );
     }
 
     fn pt(recall: f32, qps: f32) -> SweepPoint {

@@ -32,7 +32,7 @@ pub mod serve;
 
 pub use cache::{CacheStats, NodeCache};
 pub use disk::{DiskIndex, DiskIndexConfig, DiskSearchStats};
-pub use harness::{qps_at_recall, sweep_disk, sweep_memory, SweepPoint};
+pub use harness::{hybrid_qps, qps_at_recall, sweep_disk, sweep_memory, SweepPoint};
 pub use memory::InMemoryIndex;
 pub use serve::{
     BatchReport, LatencySummary, ServeConfig, ServeEngine, Shard, ShardBackend, ShardQueryStats,

@@ -96,12 +96,12 @@ impl Drop for WorkerPool {
     }
 }
 
-/// The default worker count: one per available core (the paper evaluates
-/// with 8 search threads; DESIGN.md §7.2).
+/// The default worker count: the configured pool width — `RPQ_THREADS`
+/// if set, otherwise one per available core (the paper evaluates with 8
+/// search threads; DESIGN.md §7.2). One knob sizes both the offline
+/// sweep harness and the serving pool.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(8)
+    rayon::current_num_threads()
 }
 
 #[cfg(test)]

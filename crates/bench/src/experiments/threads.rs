@@ -1,0 +1,140 @@
+//! The `threads` experiment: wall-clock scaling of the parallel build
+//! and sweep paths vs pool width (no paper counterpart; this measures
+//! the vendored rayon pool itself).
+//!
+//! For width 1 and the configured pool width (`RPQ_THREADS` or the
+//! machine's cores) it times ground-truth computation, Vamana+PQ index
+//! construction, and a `sweep_memory` pass, then reports per-phase
+//! wall-clock and speedup. Results must be **identical** across widths
+//! — the experiment asserts recall and per-query top-k ids match
+//! bit-for-bit, so any speedup shown is for exactly the same work. On a
+//! multi-core machine the build and sweep phases scale with the pool;
+//! on a single-core machine both widths cost the same and the speedup
+//! columns read ~1×.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use rayon::prelude::*;
+use rpq_anns::{sweep_memory, InMemoryIndex};
+use rpq_data::brute_force_knn;
+use rpq_data::synth::DatasetKind;
+use rpq_graph::{SearchScratch, VamanaConfig};
+use rpq_quant::{PqConfig, ProductQuantizer};
+
+use crate::report::{fmt, write_json, Report};
+use crate::scale::Scale;
+use crate::setup::make_bench;
+
+/// Wall-clock seconds for one pool width.
+#[derive(Serialize, Clone, Copy, Debug)]
+pub struct ThreadTimings {
+    pub threads: usize,
+    pub gt_s: f32,
+    pub build_s: f32,
+    pub sweep_s: f32,
+    pub recall: f32,
+}
+
+fn run_once(scale: &Scale, threads: usize) -> (ThreadTimings, Vec<Vec<u32>>) {
+    rayon::with_num_threads(threads, || {
+        let bench = make_bench(
+            DatasetKind::Sift,
+            scale.n_base,
+            scale.n_query,
+            scale.k,
+            scale.seed,
+        );
+
+        let t0 = Instant::now();
+        let gt = brute_force_knn(&bench.base, &bench.queries, scale.k);
+        let gt_s = t0.elapsed().as_secs_f32();
+
+        // Vamana's batched insertion is the most parallel build path.
+        let t1 = Instant::now();
+        let graph = VamanaConfig {
+            r: 16,
+            l: 32,
+            ..Default::default()
+        }
+        .build(&bench.base);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: scale.m,
+                k: scale.kk,
+                ..Default::default()
+            },
+            &bench.base,
+        );
+        let index = InMemoryIndex::build(pq, &bench.base, graph);
+        let build_s = t1.elapsed().as_secs_f32();
+
+        let t2 = Instant::now();
+        let points = sweep_memory(&index, &bench.queries, &gt, scale.k, &scale.efs);
+        let sweep_s = t2.elapsed().as_secs_f32();
+
+        let ef = *scale.efs.last().expect("scale has beam widths");
+        let ids: Vec<Vec<u32>> = (0..bench.queries.len())
+            .into_par_iter()
+            .map_init(SearchScratch::new, |scratch, qi| {
+                let (res, _) = index.search(bench.queries.get(qi), ef, scale.k, scratch);
+                res.iter().map(|n| n.id).collect()
+            })
+            .collect();
+
+        let recall = points.last().map(|p| p.recall).unwrap_or(0.0);
+        (
+            ThreadTimings {
+                threads,
+                gt_s,
+                build_s,
+                sweep_s,
+                recall,
+            },
+            ids,
+        )
+    })
+}
+
+/// **threads**: wall-clock scaling (and result invariance) vs pool width.
+pub fn threads(scale: &Scale) -> Report {
+    let mut report = Report::new(
+        "threads",
+        "Pool-width scaling: wall-clock per phase, identical results",
+        &scale.label(),
+        &[
+            "Threads", "GT s", "Build s", "Sweep s", "Recall", "GT ×", "Build ×", "Sweep ×",
+        ],
+    );
+    let full_width = rayon::current_num_threads().max(1);
+    let (seq, seq_ids) = run_once(scale, 1);
+    let mut rows = vec![seq];
+    if full_width > 1 {
+        let (par, par_ids) = run_once(scale, full_width);
+        assert_eq!(
+            seq_ids, par_ids,
+            "top-k ids must be identical at every pool width"
+        );
+        assert_eq!(
+            seq.recall.to_bits(),
+            par.recall.to_bits(),
+            "recall must be identical at every pool width"
+        );
+        rows.push(par);
+    }
+    for t in &rows {
+        report.push_row(vec![
+            t.threads.to_string(),
+            fmt(t.gt_s),
+            fmt(t.build_s),
+            fmt(t.sweep_s),
+            fmt(t.recall),
+            fmt(seq.gt_s / t.gt_s.max(1e-9)),
+            fmt(seq.build_s / t.build_s.max(1e-9)),
+            fmt(seq.sweep_s / t.sweep_s.max(1e-9)),
+        ]);
+    }
+    write_json("threads", &rows);
+    report
+}

@@ -2,7 +2,6 @@
 //! (Dong et al., WWW'11) for larger sets. NSG consumes these as its
 //! initialisation graph.
 
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -81,11 +80,24 @@ impl NeighborList {
     }
 }
 
+/// Pools per propose/apply round: bounds the proposal buffer (at most
+/// `POOL_BATCH · sample²` candidate edges in flight) while leaving plenty
+/// of parallelism inside each batch.
+const POOL_BATCH: usize = 512;
+
 /// Approximate k-NN graph by NN-Descent local joins.
 ///
 /// Each iteration gathers, for every node, a sampled set of forward and
 /// reverse neighbors, then tries every pair inside that set against each
 /// other's lists. Converges in a handful of iterations on clustered data.
+///
+/// The local join runs as parallel **propose** / sequential **apply**
+/// batches: workers score candidate pairs against a frozen snapshot of
+/// the lists (the expensive distance computations), then the proposals
+/// are applied in pool order on one thread. Unlike a locked in-place
+/// join, this keeps the result bit-identical for a given seed at every
+/// thread count — the determinism contract the whole build pipeline
+/// (and `tests/determinism.rs`) relies on.
 pub fn nn_descent(data: &Dataset, cfg: NnDescentConfig) -> Vec<Vec<u32>> {
     let n = data.len();
     assert!(n > 0, "empty dataset");
@@ -96,7 +108,7 @@ pub fn nn_descent(data: &Dataset, cfg: NnDescentConfig) -> Vec<Vec<u32>> {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
     // Random initialisation.
-    let lists: Vec<Mutex<NeighborList>> = (0..n)
+    let mut lists: Vec<NeighborList> = (0..n)
         .map(|i| {
             let mut entries = Vec::with_capacity(k);
             let mut chosen = std::collections::HashSet::new();
@@ -107,7 +119,7 @@ pub fn nn_descent(data: &Dataset, cfg: NnDescentConfig) -> Vec<Vec<u32>> {
                 }
             }
             entries.sort_by(|a, b| a.0.total_cmp(&b.0));
-            Mutex::new(NeighborList { entries, cap: k })
+            NeighborList { entries, cap: k }
         })
         .collect();
 
@@ -115,7 +127,7 @@ pub fn nn_descent(data: &Dataset, cfg: NnDescentConfig) -> Vec<Vec<u32>> {
         // Candidate pools: forward neighbors + reverse neighbors, capped.
         let mut pools: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (i, list) in lists.iter().enumerate() {
-            for &(_, j) in &list.lock().entries {
+            for &(_, j) in &list.entries {
                 pools[i].push(j);
                 pools[j as usize].push(i as u32);
             }
@@ -134,34 +146,40 @@ pub fn nn_descent(data: &Dataset, cfg: NnDescentConfig) -> Vec<Vec<u32>> {
         }
 
         // Local join: every pair inside a pool proposes each other.
-        let updates: usize = pools
-            .par_iter()
-            .map(|pool| {
-                let mut local_updates = 0usize;
-                for ai in 0..pool.len() {
-                    for bi in (ai + 1)..pool.len() {
-                        let (a, b) = (pool[ai], pool[bi]);
-                        if a == b {
-                            continue;
-                        }
-                        let d = sq_l2(data.get(a as usize), data.get(b as usize));
-                        // Cheap pre-check without the lock is racy but safe:
-                        // insert() rechecks under the lock.
-                        if d < lists[a as usize].lock().worst()
-                            && lists[a as usize].lock().insert(d, b)
-                        {
-                            local_updates += 1;
-                        }
-                        if d < lists[b as usize].lock().worst()
-                            && lists[b as usize].lock().insert(d, a)
-                        {
-                            local_updates += 1;
+        let mut updates = 0usize;
+        for batch in pools.chunks(POOL_BATCH) {
+            // Propose (parallel, read-only): score pairs against the list
+            // state as of the batch start. The snapshot `worst()` filter
+            // only prunes; apply re-checks every proposal.
+            let proposals: Vec<Vec<(u32, f32, u32)>> = batch
+                .par_iter()
+                .map(|pool| {
+                    let mut local = Vec::new();
+                    for ai in 0..pool.len() {
+                        for bi in (ai + 1)..pool.len() {
+                            let (a, b) = (pool[ai], pool[bi]);
+                            if a == b {
+                                continue;
+                            }
+                            let d = sq_l2(data.get(a as usize), data.get(b as usize));
+                            if d < lists[a as usize].worst() {
+                                local.push((a, d, b));
+                            }
+                            if d < lists[b as usize].worst() {
+                                local.push((b, d, a));
+                            }
                         }
                     }
+                    local
+                })
+                .collect();
+            // Apply (sequential, in pool order): deterministic inserts.
+            for (target, d, id) in proposals.into_iter().flatten() {
+                if lists[target as usize].insert(d, id) {
+                    updates += 1;
                 }
-                local_updates
-            })
-            .sum();
+            }
+        }
 
         if (updates as f32) < cfg.delta * (n * k) as f32 {
             break;
@@ -170,7 +188,7 @@ pub fn nn_descent(data: &Dataset, cfg: NnDescentConfig) -> Vec<Vec<u32>> {
 
     lists
         .into_iter()
-        .map(|l| l.into_inner().entries.into_iter().map(|(_, j)| j).collect())
+        .map(|l| l.entries.into_iter().map(|(_, j)| j).collect())
         .collect()
 }
 

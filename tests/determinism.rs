@@ -1,0 +1,177 @@
+//! Thread-count determinism: every build and search path must produce
+//! **bit-identical** results whether the rayon pool runs 1 worker or
+//! many. This is the contract that makes multi-threaded QPS numbers
+//! comparable to single-threaded ones (same work, same results, less
+//! wall-clock) and keeps seeded experiments reproducible on any machine.
+//!
+//! The vendored rayon's `with_num_threads` pins the pool width for a
+//! scope on the calling thread, so both widths run inside one process.
+
+use rpq_anns::serve::ShardedIndex;
+use rpq_anns::{sweep_memory, InMemoryIndex};
+use rpq_data::synth::{SynthConfig, ValueTransform};
+use rpq_data::{brute_force_knn, Dataset};
+use rpq_graph::{nn_descent, HnswConfig, NnDescentConfig, NsgConfig, SearchScratch, VamanaConfig};
+use rpq_quant::{PqConfig, ProductQuantizer};
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn ci_data(n: usize, seed: u64) -> Dataset {
+    SynthConfig {
+        dim: 12,
+        intrinsic_dim: 5,
+        clusters: 6,
+        cluster_std: 0.7,
+        noise_std: 0.05,
+        transform: ValueTransform::Identity,
+    }
+    .generate(n, seed)
+}
+
+/// Runs `f` under each thread count and asserts every run returns the
+/// same value as the single-threaded reference.
+fn assert_thread_invariant<T: PartialEq + std::fmt::Debug>(what: &str, f: impl Fn() -> T) -> T {
+    let reference = rayon::with_num_threads(THREAD_COUNTS[0], &f);
+    for &threads in &THREAD_COUNTS[1..] {
+        let got = rayon::with_num_threads(threads, &f);
+        assert!(
+            got == reference,
+            "{what}: result under {threads} threads diverged from the \
+             single-threaded reference"
+        );
+    }
+    reference
+}
+
+#[test]
+fn ground_truth_is_thread_invariant() {
+    let data = ci_data(500, 42);
+    let (base, queries) = data.split_at(470);
+    let gt = assert_thread_invariant("brute_force_knn", || {
+        brute_force_knn(&base, &queries, 10).neighbors
+    });
+    assert_eq!(gt.len(), queries.len());
+    assert!(gt.iter().all(|l| l.len() == 10));
+}
+
+#[test]
+fn graph_builds_are_thread_invariant() {
+    let data = ci_data(300, 7);
+    let adjacency = |g: &rpq_graph::ProximityGraph| -> Vec<Vec<u32>> {
+        (0..g.len() as u32)
+            .map(|v| g.neighbors(v).to_vec())
+            .collect()
+    };
+    assert_thread_invariant("vamana build", || {
+        adjacency(
+            &VamanaConfig {
+                r: 8,
+                l: 16,
+                ..Default::default()
+            }
+            .build(&data),
+        )
+    });
+    assert_thread_invariant("nsg build", || {
+        adjacency(
+            &NsgConfig {
+                r: 8,
+                ..Default::default()
+            }
+            .build(&data),
+        )
+    });
+    // NN-Descent's local join runs as parallel propose / sequential
+    // apply precisely so this holds.
+    assert_thread_invariant("nn_descent", || {
+        nn_descent(
+            &data,
+            NnDescentConfig {
+                k: 8,
+                ..Default::default()
+            },
+        )
+    });
+}
+
+#[test]
+fn memory_sweep_is_thread_invariant() {
+    let data = ci_data(640, 3);
+    let (base, queries) = data.split_at(600);
+    let gt = brute_force_knn(&base, &queries, 10);
+    let graph = HnswConfig {
+        m: 8,
+        ef_construction: 40,
+        seed: 0,
+    }
+    .build(&base);
+    let pq = ProductQuantizer::train(
+        &PqConfig {
+            m: 4,
+            k: 16,
+            ..Default::default()
+        },
+        &base,
+    );
+    let index = InMemoryIndex::build(pq, &base, graph);
+
+    // Per-query top-k ids through the parallel harness path
+    // (into_par_iter + map_init scratch), bit-identical across widths.
+    let ids = assert_thread_invariant("per-query top-k ids", || {
+        use rayon::prelude::*;
+        (0..queries.len())
+            .into_par_iter()
+            .map_init(SearchScratch::new, |scratch, qi| {
+                let (res, _) = index.search(queries.get(qi), 40, 10, scratch);
+                res.iter().map(|n| n.id).collect::<Vec<u32>>()
+            })
+            .collect::<Vec<Vec<u32>>>()
+    });
+    assert_eq!(ids.len(), queries.len());
+
+    // Recall (and hops) off the full sweep; QPS legitimately varies with
+    // the width, so compare the deterministic fields only.
+    let sweep = assert_thread_invariant("sweep_memory recall/hops", || {
+        sweep_memory(&index, &queries, &gt, 10, &[10, 40])
+            .into_iter()
+            .map(|p| (p.ef, p.recall.to_bits(), p.hops.to_bits()))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(sweep.len(), 2);
+}
+
+#[test]
+fn sharded_search_is_thread_invariant() {
+    let data = ci_data(440, 5);
+    let (base, queries) = data.split_at(400);
+    let pq = ProductQuantizer::train(
+        &PqConfig {
+            m: 4,
+            k: 16,
+            ..Default::default()
+        },
+        &base,
+    );
+    let index = ShardedIndex::build_in_memory(&pq, &base, 3, |part| {
+        HnswConfig {
+            m: 8,
+            ef_construction: 40,
+            seed: 0,
+        }
+        .build(part)
+    });
+    let ids = assert_thread_invariant("sharded per-query top-k ids", || {
+        use rayon::prelude::*;
+        (0..queries.len())
+            .into_par_iter()
+            .map_init(SearchScratch::new, |scratch, qi| {
+                let (res, _) = index.search(queries.get(qi), 40, 10, scratch);
+                res.iter()
+                    .map(|n| (n.id, n.dist.to_bits()))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<Vec<_>>>()
+    });
+    assert_eq!(ids.len(), queries.len());
+    assert!(ids.iter().all(|l| !l.is_empty()));
+}

@@ -1,0 +1,655 @@
+//! The parallel-iterator machinery: splittable sources, a composable
+//! adapter stack, and the consumers that hand work to the executor.
+//!
+//! Architecture (a deliberately small cousin of real rayon's
+//! producer/consumer plumbing):
+//!
+//! - A [`Source`] is a splittable description of the underlying data
+//!   (a range, a slice, chunked slices, an owned `Vec`). The driver
+//!   splits it into contiguous chunks, each tagged with its base index.
+//! - An [`Ops`] value is the adapter stack (`map`, `filter_map`,
+//!   `enumerate`, `map_init`) *detached from the data*. It is shared by
+//!   reference across workers, which is why every captured closure needs
+//!   `Send + Sync` — the same bounds real rayon demands.
+//! - [`Par`] glues one `Ops` stack to one `Source` and exposes the
+//!   consumer methods (`collect`, `for_each`, `sum`). Consumers run each
+//!   chunk through the stack on a worker and merge per-chunk results in
+//!   chunk order, so `collect` is order-preserving and results are
+//!   identical at every thread count.
+
+use std::marker::PhantomData;
+
+use crate::pool;
+
+/// A splittable, contiguous description of parallelizable data.
+pub trait Source: Send + Sized {
+    /// The item this source yields sequentially after splitting.
+    type Item: Send;
+    /// Sequential iterator over one split-off chunk.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Number of items remaining in this source.
+    fn len(&self) -> usize;
+
+    /// True when the source has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into `[0, at)` and `[at, len)`.
+    fn split_at(self, at: usize) -> (Self, Self);
+
+    /// Converts one chunk into its sequential iterator.
+    fn into_seq(self) -> Self::Iter;
+}
+
+/// The adapter stack: how a worker turns one source chunk into items.
+///
+/// `process` drives the chunk sequentially, passing every produced item
+/// to `sink`. `base` is the chunk's starting index in the original
+/// source (what `enumerate` counts from), and `state` is the per-worker
+/// state `map_init` threads through every chunk a worker runs.
+pub trait Ops: Send + Sync {
+    type Source: Source;
+    type Item: Send;
+    type State;
+
+    /// True while every produced item maps 1:1 to a source index —
+    /// the precondition for `enumerate` (broken by `filter_map`).
+    const INDEXED: bool;
+
+    /// Builds one per-worker state (called once per worker).
+    fn new_state(&self) -> Self::State;
+
+    /// Runs one chunk through the stack, feeding items to `sink`.
+    fn process(
+        &self,
+        base: usize,
+        src: Self::Source,
+        state: &mut Self::State,
+        sink: &mut dyn FnMut(Self::Item),
+    );
+}
+
+/// The no-adapter stack: items come straight off the source.
+pub struct IdentOps<S>(PhantomData<fn(S) -> S>);
+
+impl<S> IdentOps<S> {
+    pub(crate) fn new() -> Self {
+        Self(PhantomData)
+    }
+}
+
+impl<S: Source> Ops for IdentOps<S> {
+    type Source = S;
+    type Item = S::Item;
+    type State = ();
+    const INDEXED: bool = true;
+
+    fn new_state(&self) {}
+
+    fn process(&self, _base: usize, src: S, _state: &mut (), sink: &mut dyn FnMut(S::Item)) {
+        src.into_seq().for_each(sink);
+    }
+}
+
+/// `map` adapter stack.
+pub struct MapOps<O, F> {
+    inner: O,
+    f: F,
+}
+
+impl<O, F, R> Ops for MapOps<O, F>
+where
+    O: Ops,
+    F: Fn(O::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Source = O::Source;
+    type Item = R;
+    type State = O::State;
+    const INDEXED: bool = O::INDEXED;
+
+    fn new_state(&self) -> O::State {
+        self.inner.new_state()
+    }
+
+    fn process(&self, base: usize, src: O::Source, state: &mut O::State, sink: &mut dyn FnMut(R)) {
+        self.inner
+            .process(base, src, state, &mut |item| sink((self.f)(item)));
+    }
+}
+
+/// `filter_map` adapter stack.
+pub struct FilterMapOps<O, F> {
+    inner: O,
+    f: F,
+}
+
+impl<O, F, R> Ops for FilterMapOps<O, F>
+where
+    O: Ops,
+    F: Fn(O::Item) -> Option<R> + Send + Sync,
+    R: Send,
+{
+    type Source = O::Source;
+    type Item = R;
+    type State = O::State;
+    const INDEXED: bool = false;
+
+    fn new_state(&self) -> O::State {
+        self.inner.new_state()
+    }
+
+    fn process(&self, base: usize, src: O::Source, state: &mut O::State, sink: &mut dyn FnMut(R)) {
+        self.inner.process(base, src, state, &mut |item| {
+            if let Some(mapped) = (self.f)(item) {
+                sink(mapped);
+            }
+        });
+    }
+}
+
+/// `map_init` adapter stack: per-worker scratch state.
+pub struct MapInitOps<O, INIT, F> {
+    inner: O,
+    init: INIT,
+    f: F,
+}
+
+impl<O, INIT, T, F, R> Ops for MapInitOps<O, INIT, F>
+where
+    O: Ops<State = ()>,
+    INIT: Fn() -> T + Send + Sync,
+    F: Fn(&mut T, O::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Source = O::Source;
+    type Item = R;
+    type State = T;
+    const INDEXED: bool = O::INDEXED;
+
+    fn new_state(&self) -> T {
+        (self.init)()
+    }
+
+    fn process(&self, base: usize, src: O::Source, state: &mut T, sink: &mut dyn FnMut(R)) {
+        self.inner
+            .process(base, src, &mut (), &mut |item| sink((self.f)(state, item)));
+    }
+}
+
+/// `enumerate` adapter stack: pairs each item with its source index.
+pub struct EnumerateOps<O> {
+    inner: O,
+}
+
+impl<O: Ops> Ops for EnumerateOps<O> {
+    type Source = O::Source;
+    type Item = (usize, O::Item);
+    type State = O::State;
+    const INDEXED: bool = O::INDEXED;
+
+    fn new_state(&self) -> O::State {
+        self.inner.new_state()
+    }
+
+    fn process(
+        &self,
+        base: usize,
+        src: O::Source,
+        state: &mut O::State,
+        sink: &mut dyn FnMut((usize, O::Item)),
+    ) {
+        let mut index = base;
+        self.inner.process(base, src, state, &mut |item| {
+            sink((index, item));
+            index += 1;
+        });
+    }
+}
+
+/// A parallel iterator: one adapter stack bound to one splittable source.
+///
+/// Consumers (`collect`, `for_each`, `sum`) split the source into
+/// contiguous chunks at width-independent boundaries, run them on
+/// scoped worker threads (claimed through an atomic counter for load
+/// balance), and merge per-chunk results in chunk order — results are
+/// bit-identical at every thread count.
+pub struct Par<O: Ops> {
+    ops: O,
+    source: O::Source,
+    min_len: usize,
+}
+
+/// Marker trait so `use rayon::prelude::*` keeps working and generic
+/// code can name "a parallel iterator". All adapter and consumer
+/// methods are inherent on [`Par`].
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+}
+
+impl<O: Ops> ParallelIterator for Par<O> {
+    type Item = O::Item;
+}
+
+impl<O: Ops> Par<O> {
+    pub(crate) fn new(ops: O, source: O::Source) -> Self {
+        Self {
+            ops,
+            source,
+            min_len: 1,
+        }
+    }
+
+    /// Parallel `map`.
+    pub fn map<R, F>(self, f: F) -> Par<MapOps<O, F>>
+    where
+        R: Send,
+        F: Fn(O::Item) -> R + Send + Sync,
+    {
+        let Par {
+            ops,
+            source,
+            min_len,
+        } = self;
+        Par {
+            ops: MapOps { inner: ops, f },
+            source,
+            min_len,
+        }
+    }
+
+    /// Parallel `filter_map`.
+    pub fn filter_map<R, F>(self, f: F) -> Par<FilterMapOps<O, F>>
+    where
+        R: Send,
+        F: Fn(O::Item) -> Option<R> + Send + Sync,
+    {
+        let Par {
+            ops,
+            source,
+            min_len,
+        } = self;
+        Par {
+            ops: FilterMapOps { inner: ops, f },
+            source,
+            min_len,
+        }
+    }
+
+    /// `map` with per-**worker** scratch state, matching real rayon:
+    /// `init` runs once per worker thread and the state threads through
+    /// every item that worker processes. Results must therefore not
+    /// depend on the state's history — use it for reusable scratch
+    /// buffers, not for accumulation.
+    pub fn map_init<INIT, T, F, R>(self, init: INIT, f: F) -> Par<MapInitOps<O, INIT, F>>
+    where
+        O: Ops<State = ()>,
+        INIT: Fn() -> T + Send + Sync,
+        F: Fn(&mut T, O::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        let Par {
+            ops,
+            source,
+            min_len,
+        } = self;
+        Par {
+            ops: MapInitOps {
+                inner: ops,
+                init,
+                f,
+            },
+            source,
+            min_len,
+        }
+    }
+
+    /// Pairs every item with its index in the source. Only valid while
+    /// the stack below is 1:1 with source indices (i.e. not after
+    /// `filter_map`), like real rayon's indexed-iterator requirement.
+    pub fn enumerate(self) -> Par<EnumerateOps<O>> {
+        // Hard assert (real rayon rejects this at compile time): in a
+        // release build a debug_assert would silently hand out dense
+        // per-chunk indices that are wrong and can collide.
+        assert!(
+            O::INDEXED,
+            "enumerate() after a length-changing adapter is not supported"
+        );
+        let Par {
+            ops,
+            source,
+            min_len,
+        } = self;
+        Par {
+            ops: EnumerateOps { inner: ops },
+            source,
+            min_len,
+        }
+    }
+
+    /// Lower bound on items per chunk (limits splitting overhead for
+    /// very cheap per-item work).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = self.min_len.max(min.max(1));
+        self
+    }
+
+    /// Splits the source and runs `consume` once per chunk on the
+    /// executor, returning per-chunk results in chunk order.
+    ///
+    /// Chunk boundaries depend only on the source length and `min_len` —
+    /// **never on the pool width** — so per-chunk reductions (including
+    /// floating-point sums) combine identically at every thread count;
+    /// the width only decides how many workers claim the chunks. The
+    /// source is split back-to-front, so owned sources (`Vec`) move each
+    /// element at most once instead of copying the tail per split.
+    fn drive<T, FC>(self, consume: FC) -> Vec<T>
+    where
+        T: Send,
+        FC: Fn(&O, &mut O::State, usize, O::Source) -> T + Sync,
+    {
+        let Par {
+            ops,
+            source,
+            min_len,
+        } = self;
+        let len = source.len();
+        let max_chunks = len / min_len.max(1);
+        let n_chunks = pool::TARGET_CHUNKS.min(max_chunks).max(1);
+        if n_chunks <= 1 {
+            let mut state = ops.new_state();
+            return vec![consume(&ops, &mut state, 0, source)];
+        }
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut rest = source;
+        for i in (1..n_chunks).rev() {
+            // Balanced partition: chunk `i` starts at ⌊i·len/n⌋.
+            let at = i * len / n_chunks;
+            let (head, tail) = rest.split_at(at);
+            chunks.push((at, tail));
+            rest = head;
+        }
+        chunks.push((0, rest));
+        chunks.reverse();
+        let width = pool::current_num_threads().min(n_chunks);
+        if width <= 1 {
+            // Same chunk boundaries, processed in order on this thread:
+            // bit-identical to the parallel path by construction.
+            let mut state = ops.new_state();
+            return chunks
+                .into_iter()
+                .map(|(base, src)| consume(&ops, &mut state, base, src))
+                .collect();
+        }
+        pool::run_ordered(chunks, width, &|| ops.new_state(), &|state, b, src| {
+            consume(&ops, state, b, src)
+        })
+    }
+
+    /// Runs `f` on every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(O::Item) + Send + Sync,
+    {
+        self.drive(|ops, state, base, src| ops.process(base, src, state, &mut |item| f(item)));
+    }
+
+    /// Collects all items **in source order** (per-chunk buffers are
+    /// concatenated in chunk order, so the result is identical to the
+    /// sequential iterator's).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<O::Item>,
+    {
+        let parts: Vec<Vec<O::Item>> = self.drive(|ops, state, base, src| {
+            let mut out = Vec::new();
+            ops.process(base, src, state, &mut |item| out.push(item));
+            out
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Sums all items (each chunk folds its items locally, left to
+    /// right; chunk sums are added in chunk order — boundaries are
+    /// width-independent, so the reduction tree is too).
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<O::Item> + std::iter::Sum<S>,
+    {
+        let parts: Vec<S> = self.drive(|ops, state, base, src| {
+            let mut acc: Option<S> = None;
+            ops.process(base, src, state, &mut |item| {
+                let item_s: S = std::iter::once(item).sum();
+                acc = Some(match acc.take() {
+                    None => item_s,
+                    Some(prev) => [prev, item_s].into_iter().sum(),
+                });
+            });
+            acc.unwrap_or_else(|| std::iter::empty::<O::Item>().sum())
+        });
+        parts.into_iter().sum()
+    }
+
+    /// Counts the items produced by the stack.
+    pub fn count(self) -> usize {
+        let parts: Vec<usize> = self.drive(|ops, state, base, src| {
+            let mut n = 0usize;
+            ops.process(base, src, state, &mut |_| n += 1);
+            n
+        });
+        parts.into_iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_source {
+    ($($t:ty),* $(,)?) => {$(
+        impl Source for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = std::ops::Range<$t>;
+
+            fn len(&self) -> usize {
+                if self.end > self.start {
+                    // Widen before subtracting: a signed range can be
+                    // longer than its type's positive max (e.g.
+                    // i8::MIN..i8::MAX), where `end - start` overflows.
+                    (self.end as i128 - self.start as i128) as usize
+                } else {
+                    0
+                }
+            }
+
+            fn split_at(self, at: usize) -> (Self, Self) {
+                let mid = (self.start as i128 + at as i128) as $t;
+                (self.start..mid, mid..self.end)
+            }
+
+            fn into_seq(self) -> Self::Iter {
+                self
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = Par<IdentOps<std::ops::Range<$t>>>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                Par::new(IdentOps::new(), self)
+            }
+        }
+    )*};
+}
+
+int_range_source!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Send> Source for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+
+    fn split_at(mut self, at: usize) -> (Self, Self) {
+        let tail = self.split_off(at);
+        (self, tail)
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Shared-slice source (`par_iter`).
+pub struct SliceSource<'a, T>(pub(crate) &'a [T]);
+
+impl<'a, T: Sync> Source for SliceSource<'a, T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (head, tail) = self.0.split_at(at);
+        (SliceSource(head), SliceSource(tail))
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.0.iter()
+    }
+}
+
+/// Exclusive-slice source (`par_iter_mut`).
+pub struct SliceMutSource<'a, T>(pub(crate) &'a mut [T]);
+
+impl<'a, T: Send> Source for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let (head, tail) = self.0.split_at_mut(at);
+        (SliceMutSource(head), SliceMutSource(tail))
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.0.iter_mut()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conversion traits
+// ---------------------------------------------------------------------
+
+/// Consuming conversion: `.into_par_iter()` on owned collections and
+/// ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = Par<IdentOps<Vec<T>>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        Par::new(IdentOps::new(), self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = Par<IdentOps<SliceSource<'a, T>>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.par_iter()
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = Par<IdentOps<SliceSource<'a, T>>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.par_iter()
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Iter = Par<IdentOps<SliceMutSource<'a, T>>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.par_iter_mut()
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Iter = Par<IdentOps<SliceMutSource<'a, T>>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.par_iter_mut()
+    }
+}
+
+/// Borrowing conversion: `.par_iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+    type Iter;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = Par<IdentOps<SliceSource<'data, T>>>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        Par::new(IdentOps::new(), SliceSource(self))
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = Par<IdentOps<SliceSource<'data, T>>>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.as_slice().par_iter()
+    }
+}
+
+/// Mutably borrowing conversion: `.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: Send + 'data;
+    type Iter;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = Par<IdentOps<SliceMutSource<'data, T>>>;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        Par::new(IdentOps::new(), SliceMutSource(self))
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = Par<IdentOps<SliceMutSource<'data, T>>>;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.as_mut_slice().par_iter_mut()
+    }
+}

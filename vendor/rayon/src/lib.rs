@@ -1,12 +1,48 @@
-//! Minimal stand-in for the `rayon` API surface this workspace uses.
+//! Offline stand-in for the `rayon` API surface this workspace uses,
+//! with **real data parallelism**.
 //!
-//! The build environment has no crates.io access, so `par_iter`-family calls
-//! resolve to the corresponding **sequential** std iterators — same results,
-//! no data parallelism. Because the shim hands back plain std iterators, the
-//! full `Iterator` adapter vocabulary (`map`, `enumerate`, `sum`, `collect`,
-//! `for_each`, …) is available exactly as under real rayon. Swap the
-//! `[workspace.dependencies]` path entry for the real crate to get actual
-//! multicore execution; call sites need no changes.
+//! The build environment has no crates.io access, so this crate vendors
+//! the subset of rayon the workspace calls — but unlike the original
+//! sequential shim, `par_iter`-family calls now execute on a pool of
+//! worker threads built on [`std::thread::scope`]:
+//!
+//! - **Pool size** comes from the `RPQ_THREADS` environment variable
+//!   (positive integer) or [`std::thread::available_parallelism`];
+//!   [`with_num_threads`] pins it per-thread for a scope (used by the
+//!   determinism tests to compare widths in one process).
+//! - **Work splitting** is chunked: the source splits into contiguous
+//!   chunks claimed through an atomic counter, so uneven chunks
+//!   rebalance across workers. Chunk boundaries depend only on the
+//!   input length (and `with_min_len`), **never on the pool width**.
+//! - **Determinism**: `collect` concatenates per-chunk buffers in chunk
+//!   order and `sum` adds chunk sums in chunk order over those
+//!   width-independent boundaries, so results — including
+//!   floating-point reductions — are bit-identical at every thread
+//!   count (given the usual rayon contract that closures are pure per
+//!   item — seeded RNG use must be per-item, never per-worker).
+//! - **`map_init`** builds one state per worker thread and threads it
+//!   through every item that worker processes, matching real rayon.
+//! - **Panics** in worker closures propagate to the caller after all
+//!   workers have been joined, and [`join`] runs its two closures on
+//!   two threads with the same propagation rule.
+//! - **Nested parallelism** runs sequentially (a worker never spawns a
+//!   second tier of workers), which bounds the thread count of any call
+//!   tree at the configured pool size.
+//!
+//! Swap the `[workspace.dependencies]` path entry for the real crate to
+//! upgrade; `par_iter`-family call sites need no changes (the bounds
+//! here — `Send + Sync` closures, `Send` items — are the ones real
+//! rayon demands). Two functions are **shim extensions** with no real
+//! rayon equivalent and their callers do need porting: [`with_num_threads`]
+//! (→ a scoped `ThreadPoolBuilder` pool) and [`execution_width`]
+//! (→ `current_num_threads().min(len).max(1)`, slightly pessimistic
+//! because real rayon's splitting is adaptive).
+
+pub mod iter;
+mod pool;
+pub mod slice;
+
+pub use pool::{current_num_threads, execution_width, with_num_threads};
 
 pub mod prelude {
     pub use crate::iter::{
@@ -15,150 +51,44 @@ pub mod prelude {
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
 
-/// Number of worker threads rayon would use (here: the machine's
-/// parallelism, for code that sizes batches off it).
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Runs two closures "in parallel" (sequentially here) and returns both.
+/// Runs two closures, potentially in parallel, and returns both results.
+///
+/// `b` runs on the calling thread while `a` runs on a scoped thread
+/// (when the pool width allows; sequentially otherwise). A panic in
+/// either closure propagates to the caller after both have finished.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
+    A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB,
+    RA: Send,
 {
-    (a(), b())
-}
-
-pub mod iter {
-    /// Rayon-specific adapters that std's `Iterator` lacks. Blanket-implemented
-    /// for every iterator so chains coming out of `par_iter()` and friends
-    /// accept them.
-    pub trait ParallelIterator: Iterator + Sized {
-        /// `map` with per-worker scratch state. Sequentially there is exactly
-        /// one worker, so `init` runs once and the state threads through every
-        /// item.
-        fn map_init<INIT, T, F, R>(self, mut init: INIT, f: F) -> MapInit<Self, T, F>
-        where
-            INIT: FnMut() -> T,
-            F: FnMut(&mut T, Self::Item) -> R,
-        {
-            MapInit {
-                iter: self,
-                state: init(),
-                f,
-            }
-        }
-
-        /// Minimum items per work unit — a no-op without work splitting.
-        fn with_min_len(self, _min: usize) -> Self {
-            self
-        }
+    if pool::in_worker() || pool::current_num_threads() < 2 {
+        return (a(), b());
     }
-
-    impl<I: Iterator> ParallelIterator for I {}
-
-    pub struct MapInit<I, T, F> {
-        iter: I,
-        state: T,
-        f: F,
-    }
-
-    impl<I, T, F, R> Iterator for MapInit<I, T, F>
-    where
-        I: Iterator,
-        F: FnMut(&mut T, I::Item) -> R,
-    {
-        type Item = R;
-
-        fn next(&mut self) -> Option<R> {
-            let item = self.iter.next()?;
-            Some((self.f)(&mut self.state, item))
-        }
-    }
-
-    /// Consuming conversion: `.into_par_iter()` on owned collections and
-    /// ranges.
-    pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// Borrowing conversion: `.par_iter()`.
-    pub trait IntoParallelRefIterator<'data> {
-        type Item: 'data;
-        type Iter: Iterator<Item = Self::Item>;
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
-    where
-        &'data I: IntoIterator,
-    {
-        type Item = <&'data I as IntoIterator>::Item;
-        type Iter = <&'data I as IntoIterator>::IntoIter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// Mutably borrowing conversion: `.par_iter_mut()`.
-    pub trait IntoParallelRefMutIterator<'data> {
-        type Item: 'data;
-        type Iter: Iterator<Item = Self::Item>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
-    }
-
-    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
-    where
-        &'data mut I: IntoIterator,
-    {
-        type Item = <&'data mut I as IntoIterator>::Item;
-        type Iter = <&'data mut I as IntoIterator>::IntoIter;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-}
-
-pub mod slice {
-    /// Chunked shared access: `.par_chunks()`.
-    pub trait ParallelSlice<T> {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// Chunked exclusive access: `.par_chunks_mut()`.
-    pub trait ParallelSliceMut<T> {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(|| {
+            pool::enter_worker();
+            a()
+        });
+        // The caller side counts as a worker too while `b` runs, so
+        // parallel calls nested inside either closure stay sequential
+        // and the whole `join` is bounded at two threads.
+        let rb = pool::as_worker(b);
+        let ra = match ha.join() {
+            Ok(ra) => ra,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
 
     #[test]
     fn adapters_compose_like_rayon() {
@@ -172,5 +102,212 @@ mod tests {
             .enumerate()
             .for_each(|(i, c)| c.fill(i as u32));
         assert_eq!(buf, [0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn collect_preserves_order_across_thread_counts() {
+        let expect: Vec<usize> = (0..1000).map(|i| i * 3).collect();
+        for threads in [1, 2, 4, 7] {
+            let got: Vec<usize> = with_num_threads(threads, || {
+                (0..1000usize).into_par_iter().map(|i| i * 3).collect()
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_thread_counts() {
+        // Chunk boundaries depend only on the input length, so even a
+        // non-associative f32 reduction combines identically at every
+        // pool width.
+        let reference: u32 = with_num_threads(1, || {
+            (0..10_000u32)
+                .into_par_iter()
+                .map(|i| (i as f32).sqrt() * 0.1)
+                .sum::<f32>()
+                .to_bits()
+        });
+        for threads in [2, 4, 7] {
+            let got: u32 = with_num_threads(threads, || {
+                (0..10_000u32)
+                    .into_par_iter()
+                    .map(|i| (i as f32).sqrt() * 0.1)
+                    .sum::<f32>()
+                    .to_bits()
+            });
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let got: Vec<usize> = with_num_threads(4, || {
+            (0..100usize)
+                .into_par_iter()
+                .filter_map(|i| (i % 3 == 0).then_some(i))
+                .collect()
+        });
+        let expect: Vec<usize> = (0..100).filter(|i| i % 3 == 0).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_iter_mut_writes_every_slot() {
+        let mut v = vec![0usize; 257];
+        with_num_threads(4, || {
+            v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * i);
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * i);
+        }
+    }
+
+    #[test]
+    fn truly_concurrent_execution() {
+        // Item 0 blocks until item 1 signals: a sequential executor
+        // deadlocks (the recv times out), a real pool interleaves.
+        let (tx, rx) = mpsc::channel::<()>();
+        let rx = std::sync::Mutex::new(rx);
+        with_num_threads(2, || {
+            (0..2usize).into_par_iter().with_min_len(1).for_each(|i| {
+                if i == 0 {
+                    let ok = rx
+                        .lock()
+                        .unwrap()
+                        .recv_timeout(Duration::from_secs(30))
+                        .is_ok();
+                    assert!(ok, "sequential execution detected: item 1 never ran");
+                } else {
+                    tx.send(()).unwrap();
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn map_init_builds_one_state_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let n_items = 512usize;
+        let sum: usize = with_num_threads(3, || {
+            (0..n_items)
+                .into_par_iter()
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::SeqCst);
+                        0usize
+                    },
+                    |scratch, i| {
+                        *scratch += 1; // scratch survives across items
+                        i
+                    },
+                )
+                .sum()
+        });
+        assert_eq!(sum, n_items * (n_items - 1) / 2);
+        let states = inits.load(Ordering::SeqCst);
+        assert!(
+            (1..=3).contains(&states),
+            "expected 1..=3 worker states, got {states}"
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                (0..64usize).into_par_iter().for_each(|i| {
+                    if i == 33 {
+                        panic!("worker exploded");
+                    }
+                });
+            })
+        });
+        assert!(caught.is_err(), "panic must reach the caller");
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panics() {
+        let (a, b) = with_num_threads(2, || join(|| 21 * 2, || "ok"));
+        assert_eq!((a, b), (42, "ok"));
+        let caught =
+            std::panic::catch_unwind(|| with_num_threads(2, || join(|| panic!("left side"), || 1)));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn join_bounds_nesting_on_both_sides() {
+        // Parallel calls nested in either closure see width 1, so a
+        // `join` call tree never exceeds two threads.
+        let (wa, wb) = with_num_threads(4, || join(current_num_threads, current_num_threads));
+        assert_eq!((wa, wb), (1, 1));
+        // The caller's own width is restored after the join.
+        let after = with_num_threads(4, || {
+            let _ = join(|| (), || ());
+            current_num_threads()
+        });
+        assert_eq!(after, 4);
+    }
+
+    #[test]
+    fn signed_ranges_longer_than_type_max() {
+        // i8::MIN..i8::MAX is 255 items: `end - start` overflows i8, so
+        // the source must widen before subtracting.
+        let got: Vec<i8> = with_num_threads(4, || (i8::MIN..i8::MAX).into_par_iter().collect());
+        let expect: Vec<i8> = (i8::MIN..i8::MAX).collect();
+        assert_eq!(got, expect);
+        let sum: i64 =
+            with_num_threads(4, || (-100i64..100i64).into_par_iter().map(|i| i * 2).sum());
+        assert_eq!(sum, -200);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = with_num_threads(4, || (0..0u32).into_par_iter().collect());
+        assert!(empty.is_empty());
+        let one: Vec<u32> = with_num_threads(4, || (5..6u32).into_par_iter().collect());
+        assert_eq!(one, vec![5]);
+        let zero_sum: usize = with_num_threads(4, || Vec::<usize>::new().into_par_iter().sum());
+        assert_eq!(zero_sum, 0);
+    }
+
+    #[test]
+    fn with_min_len_bounds_splitting() {
+        // 10 items, min chunk 10 => a single chunk even at width 4.
+        let got: Vec<usize> = with_num_threads(4, || {
+            (0..10usize).into_par_iter().with_min_len(10).collect()
+        });
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_shared_reads() {
+        let data: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = with_num_threads(4, || {
+            data.par_chunks(10).map(|c| c.iter().sum::<u32>()).collect()
+        });
+        let expect: Vec<u32> = data.chunks(10).map(|c| c.iter().sum::<u32>()).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn nested_parallelism_stays_bounded() {
+        // A par call inside a worker runs sequentially (width 1) instead
+        // of spawning another tier of threads.
+        let widths: Vec<usize> = with_num_threads(4, || {
+            (0..8usize)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(widths.iter().all(|&w| w == 1), "{widths:?}");
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let v: Vec<String> = (0..50).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = with_num_threads(4, || v.into_par_iter().map(|s| s.len()).collect());
+        assert_eq!(lens.len(), 50);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[42], 2);
     }
 }

@@ -1,0 +1,252 @@
+//! Pool sizing and the scoped executor every parallel consumer runs on.
+//!
+//! There is no persistent worker pool: each parallel call spawns its
+//! workers with [`std::thread::scope`], which lets work-item closures
+//! borrow from the caller's stack safely (no `'static` bound, no unsafe
+//! lifetime erasure) and propagates worker panics on join. Spawn cost is
+//! tens of microseconds per worker, which is noise against the chunky
+//! workloads this workspace runs (graph construction passes, query
+//! batches, matrix rows).
+//!
+//! The *pool size* is global: `RPQ_THREADS` if set to a positive integer,
+//! otherwise [`std::thread::available_parallelism`]. Tests and callers
+//! that need a specific width use [`with_num_threads`], a scoped,
+//! thread-local override (thread-local so concurrently running tests
+//! cannot perturb each other's width).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Work-splitting granularity: the source splits into up to this many
+/// chunks regardless of pool width. Width-independent boundaries keep
+/// per-chunk reductions (even floating-point ones) bit-identical at
+/// every thread count, while 64 chunks leave the atomic claim counter
+/// several chunks per worker to rebalance with on any realistic pool.
+pub(crate) const TARGET_CHUNKS: usize = 64;
+
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Scoped width override for the current thread (0 = none).
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Set on executor worker threads: nested parallel calls run
+    /// sequentially instead of spawning a second tier of workers.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a raw `RPQ_THREADS` value: positive integers are taken
+/// verbatim; unset, empty, zero, or unparsable values fall back to the
+/// machine's available parallelism.
+pub(crate) fn threads_from_env_value(value: Option<&str>) -> usize {
+    value
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(hardware_threads)
+}
+
+fn env_threads() -> usize {
+    *ENV_THREADS
+        .get_or_init(|| threads_from_env_value(std::env::var("RPQ_THREADS").ok().as_deref()))
+}
+
+/// Number of worker threads parallel calls on this thread will use.
+///
+/// Inside an executor worker this reports 1 (nested parallelism runs
+/// sequentially), so it always answers "how wide is the next parallel
+/// call from here" — which is exactly what throughput accounting wants.
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    let o = OVERRIDE.with(Cell::get);
+    if o > 0 {
+        o
+    } else {
+        env_threads()
+    }
+}
+
+/// The number of workers a parallel call over `len` items issued from
+/// this thread will actually execute on: the pool width, capped by the
+/// chunk count (at most `TARGET_CHUNKS`, at most one chunk per item).
+///
+/// This is a shim extension; throughput accounting that models
+/// per-worker overlap (the hybrid sweep's I/O model) must divide by
+/// this, not by [`current_num_threads`], or it overstates parallelism
+/// whenever the pool is wider than the work splits.
+pub fn execution_width(len: usize) -> usize {
+    current_num_threads().min(TARGET_CHUNKS).min(len).max(1)
+}
+
+/// Runs `f` with the calling thread's pool width pinned to `n` (clamped
+/// to ≥ 1), restoring the previous width afterwards — including on panic.
+///
+/// This is a shim extension (real rayon configures width through
+/// `ThreadPoolBuilder`); it exists so determinism tests can compare
+/// `RPQ_THREADS=1` and multi-threaded execution inside one process.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(Cell::get));
+    OVERRIDE.with(|c| c.set(n.max(1)));
+    f()
+}
+
+/// Executes `chunks` (pre-split, tagged with their base index) on `width`
+/// scoped workers and returns the per-chunk results **in chunk order**.
+///
+/// Each worker builds one `state` with `make_state` and threads it through
+/// every chunk it processes (the `map_init` contract). Chunks are claimed
+/// through an atomic counter, so a slow chunk never strands work behind
+/// it. If any worker panics, the panic is re-raised on the caller after
+/// all workers have been joined.
+pub(crate) fn run_ordered<Src, St, T>(
+    chunks: Vec<(usize, Src)>,
+    width: usize,
+    make_state: &(dyn Fn() -> St + Sync),
+    work: &(dyn Fn(&mut St, usize, Src) -> T + Sync),
+) -> Vec<T>
+where
+    Src: Send,
+    T: Send,
+{
+    let n = chunks.len();
+    let slots: Vec<Mutex<Option<(usize, Src)>>> =
+        chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..width.min(n))
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_WORKER.with(|c| c.set(true));
+                    let mut state = make_state();
+                    let mut done: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let (base, src) = slots[i]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .take()
+                            .expect("chunk claimed exactly once");
+                        done.push((i, work(&mut state, base, src)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        let mut panic_payload = None;
+        for worker in workers {
+            match worker.join() {
+                Ok(part) => tagged.extend(part),
+                Err(payload) => panic_payload = Some(payload),
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// True on an executor worker thread (used by [`crate::join`] to avoid
+/// spawning a second tier of threads for nested parallelism).
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Marks the current thread as an executor worker (used by [`crate::join`]
+/// for the spawned half, so nested parallel calls degrade to sequential).
+pub(crate) fn enter_worker() {
+    IN_WORKER.with(|c| c.set(true));
+}
+
+/// Runs `f` with the current thread marked as a worker, restoring the
+/// previous flag afterwards — including on panic (used by
+/// [`crate::join`] for the caller-side closure).
+pub(crate) fn as_worker<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_WORKER.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(IN_WORKER.with(Cell::get));
+    IN_WORKER.with(|c| c.set(true));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_value_parsing() {
+        assert_eq!(threads_from_env_value(Some("3")), 3);
+        assert_eq!(threads_from_env_value(Some(" 8 ")), 8);
+        // Unset / empty / zero / garbage all fall back to the hardware
+        // count, which is at least 1.
+        for bad in [None, Some(""), Some("0"), Some("lots"), Some("-2")] {
+            assert!(threads_from_env_value(bad) >= 1, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn execution_width_never_exceeds_chunks_or_items() {
+        with_num_threads(128, || {
+            assert_eq!(execution_width(1_000_000), TARGET_CHUNKS);
+            assert_eq!(execution_width(10), 10);
+            assert_eq!(execution_width(0), 1);
+        });
+        with_num_threads(2, || assert_eq!(execution_width(1_000_000), 2));
+        with_num_threads(1, || assert_eq!(execution_width(50), 1));
+    }
+
+    #[test]
+    fn override_is_scoped_and_restored() {
+        let outer = current_num_threads();
+        let inner = with_num_threads(7, current_num_threads);
+        assert_eq!(inner, 7);
+        assert_eq!(current_num_threads(), outer);
+        // Nested overrides restore in LIFO order.
+        with_num_threads(2, || {
+            assert_eq!(current_num_threads(), 2);
+            with_num_threads(5, || assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn override_restored_on_panic() {
+        let outer = current_num_threads();
+        let caught = std::panic::catch_unwind(|| with_num_threads(3, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn run_ordered_preserves_chunk_order() {
+        let chunks: Vec<(usize, u64)> = (0..32).map(|i| (i, i as u64)).collect();
+        let out = run_ordered(chunks, 4, &|| (), &|_, base, src| (base, src * 2));
+        assert_eq!(out.len(), 32);
+        for (i, (base, doubled)) in out.iter().enumerate() {
+            assert_eq!(*base, i);
+            assert_eq!(*doubled, 2 * i as u64);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Chunked slice access: `.par_chunks()` / `.par_chunks_mut()`.
+
+use crate::iter::{IdentOps, Par, Source};
+
+/// Shared chunked source (`par_chunks`): items are `&[T]` of length
+/// `size` (the last may be shorter).
+pub struct ChunksSource<'a, T> {
+    data: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Source for ChunksSource<'a, T> {
+    type Item = &'a [T];
+    type Iter = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.data.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let mid = (at * self.size).min(self.data.len());
+        let (head, tail) = self.data.split_at(mid);
+        (
+            ChunksSource {
+                data: head,
+                size: self.size,
+            },
+            ChunksSource {
+                data: tail,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.data.chunks(self.size)
+    }
+}
+
+/// Exclusive chunked source (`par_chunks_mut`): items are `&mut [T]`.
+pub struct ChunksMutSource<'a, T> {
+    data: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Source for ChunksMutSource<'a, T> {
+    type Item = &'a mut [T];
+    type Iter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.data.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, at: usize) -> (Self, Self) {
+        let mid = (at * self.size).min(self.data.len());
+        let (head, tail) = self.data.split_at_mut(mid);
+        (
+            ChunksMutSource {
+                data: head,
+                size: self.size,
+            },
+            ChunksMutSource {
+                data: tail,
+                size: self.size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.data.chunks_mut(self.size)
+    }
+}
+
+/// Chunked shared access: `.par_chunks()`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized pieces (last may be
+    /// shorter). Panics if `chunk_size` is zero.
+    fn par_chunks(&self, chunk_size: usize) -> Par<IdentOps<ChunksSource<'_, T>>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<IdentOps<ChunksSource<'_, T>>> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        Par::new(
+            IdentOps::new(),
+            ChunksSource {
+                data: self,
+                size: chunk_size,
+            },
+        )
+    }
+}
+
+/// Chunked exclusive access: `.par_chunks_mut()`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over exclusive `chunk_size`-sized pieces (last
+    /// may be shorter). Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<IdentOps<ChunksMutSource<'_, T>>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<IdentOps<ChunksMutSource<'_, T>>> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        Par::new(
+            IdentOps::new(),
+            ChunksMutSource {
+                data: self,
+                size: chunk_size,
+            },
+        )
+    }
+}
