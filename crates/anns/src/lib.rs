@@ -23,18 +23,25 @@
 //! shard indexes, a persistent worker pool with per-worker reusable
 //! scratch, cross-shard top-k merging, request batching, and p50/p95/p99
 //! latency metrics (DESIGN.md §7).
+//!
+//! [`stream`] is the live-corpus path (DESIGN.md §8): a FreshDiskANN-style
+//! [`stream::StreamingIndex`] with greedy graph inserts, tombstoned
+//! deletes, and threshold-gated consolidation, pluggable into the sharded
+//! layer through the [`serve::MutableShardBackend`] extension.
 
 pub mod cache;
 pub mod disk;
 pub mod harness;
 pub mod memory;
 pub mod serve;
+pub mod stream;
 
 pub use cache::{CacheStats, NodeCache};
 pub use disk::{DiskIndex, DiskIndexConfig, DiskSearchStats};
 pub use harness::{hybrid_qps, qps_at_recall, sweep_disk, sweep_memory, SweepPoint};
 pub use memory::InMemoryIndex;
 pub use serve::{
-    BatchReport, LatencySummary, ServeConfig, ServeEngine, Shard, ShardBackend, ShardQueryStats,
-    ShardedIndex, WorkerPool,
+    BatchReport, LatencySummary, MutableShardBackend, ServeConfig, ServeEngine, Shard,
+    ShardBackend, ShardQueryStats, ShardedIndex, WorkerPool,
 };
+pub use stream::{ConsolidateReport, StreamingConfig, StreamingIndex};

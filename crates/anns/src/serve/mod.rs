@@ -32,6 +32,7 @@ use rpq_quant::VectorCompressor;
 
 use crate::disk::{DiskIndex, DiskIndexConfig};
 use crate::memory::InMemoryIndex;
+use crate::stream::{StreamingConfig, StreamingIndex};
 
 /// Per-shard, per-query cost counters (superset of the in-memory and
 /// hybrid stats so both backends fit one serving path).
@@ -76,6 +77,86 @@ pub trait ShardBackend: Send + Sync {
 
     /// RAM held by this shard (codes + model + graph or cache).
     fn resident_bytes(&self) -> usize;
+}
+
+/// The mutation extension of [`ShardBackend`]: a shard whose corpus changes
+/// in place (DESIGN.md §8). Split from the read path so the frozen
+/// backends ([`InMemoryIndex`], [`DiskIndex`]) stay exactly what they were
+/// and only shards that opt into mutability pay for it.
+///
+/// Local ids are positional: `insert_local` must return the previous
+/// [`ShardBackend::shard_len`], and tombstoned ids keep their slot (and
+/// stay counted by `shard_len`) until `consolidate_local` compacts them —
+/// that positional stability is what keeps the sharded layer's local→global
+/// id maps an index-aligned `Vec<u32>`.
+pub trait MutableShardBackend: ShardBackend {
+    /// Inserts one vector; returns its local id (== `shard_len` before the
+    /// call).
+    fn insert_local(&mut self, v: &[f32], scratch: &mut SearchScratch) -> u32;
+
+    /// Tombstones a local id. False when out of range or already dead.
+    fn remove_local(&mut self, local_id: u32) -> bool;
+
+    /// Reclaims tombstones (threshold-gated unless `force`); returns the
+    /// survivors' old local ids when a pass ran, so the caller can remap
+    /// its id tables. New local id `i` was `survivors[i]`.
+    fn consolidate_local(&mut self, force: bool) -> Option<Vec<u32>>;
+
+    /// Resident minus tombstoned points.
+    fn live_len(&self) -> usize;
+
+    /// Fraction of resident points that are tombstoned.
+    fn tombstone_fraction(&self) -> f32;
+}
+
+impl<C: VectorCompressor> ShardBackend for StreamingIndex<C> {
+    fn search_local(
+        &self,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        let (res, stats) = self.search(query, ef, k, scratch);
+        (
+            res,
+            ShardQueryStats {
+                hops: stats.hops,
+                dist_comps: stats.dist_comps,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn shard_len(&self) -> usize {
+        self.len()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+}
+
+impl<C: VectorCompressor> MutableShardBackend for StreamingIndex<C> {
+    fn insert_local(&mut self, v: &[f32], scratch: &mut SearchScratch) -> u32 {
+        self.insert(v, scratch)
+    }
+
+    fn remove_local(&mut self, local_id: u32) -> bool {
+        self.remove(local_id)
+    }
+
+    fn consolidate_local(&mut self, force: bool) -> Option<Vec<u32>> {
+        self.consolidate(force).map(|r| r.survivors)
+    }
+
+    fn live_len(&self) -> usize {
+        StreamingIndex::live_len(self)
+    }
+
+    fn tombstone_fraction(&self) -> f32 {
+        StreamingIndex::tombstone_fraction(self)
+    }
 }
 
 impl<C: VectorCompressor> ShardBackend for InMemoryIndex<C> {
@@ -135,15 +216,40 @@ impl<C: VectorCompressor> ShardBackend for DiskIndex<C> {
     }
 }
 
+/// Either face of a shard's backend: frozen (read path only) or mutable.
+enum ShardHandle {
+    Frozen(Box<dyn ShardBackend>),
+    Mutable(Box<dyn MutableShardBackend>),
+}
+
+impl ShardHandle {
+    /// The read path every shard has.
+    fn read(&self) -> &dyn ShardBackend {
+        match self {
+            ShardHandle::Frozen(b) => &**b,
+            ShardHandle::Mutable(b) => &**b,
+        }
+    }
+
+    /// The write path, when this shard has one.
+    fn mutable(&mut self) -> Option<&mut dyn MutableShardBackend> {
+        match self {
+            ShardHandle::Frozen(_) => None,
+            ShardHandle::Mutable(b) => Some(&mut **b),
+        }
+    }
+}
+
 /// One shard: a backend plus the map from its local ids back to global
-/// dataset ids.
+/// dataset ids (positionally aligned: local id `i` is `global_ids[i]`,
+/// tombstoned slots included).
 pub struct Shard {
-    backend: Box<dyn ShardBackend>,
+    backend: ShardHandle,
     global_ids: Vec<u32>,
 }
 
 impl Shard {
-    /// Wraps a backend with its local→global id map.
+    /// Wraps a frozen backend with its local→global id map.
     pub fn new(backend: Box<dyn ShardBackend>, global_ids: Vec<u32>) -> Self {
         assert_eq!(
             backend.shard_len(),
@@ -151,12 +257,26 @@ impl Shard {
             "id map must cover the shard"
         );
         Self {
-            backend,
+            backend: ShardHandle::Frozen(backend),
             global_ids,
         }
     }
 
-    /// Vectors in this shard.
+    /// Wraps a mutable backend, enabling the [`ShardedIndex`] write paths
+    /// on this shard.
+    pub fn new_mutable(backend: Box<dyn MutableShardBackend>, global_ids: Vec<u32>) -> Self {
+        assert_eq!(
+            backend.shard_len(),
+            global_ids.len(),
+            "id map must cover the shard"
+        );
+        Self {
+            backend: ShardHandle::Mutable(backend),
+            global_ids,
+        }
+    }
+
+    /// Vectors in this shard (tombstoned ones included until consolidated).
     pub fn len(&self) -> usize {
         self.global_ids.len()
     }
@@ -246,6 +366,10 @@ pub struct ShardedIndex {
     shards: Vec<Shard>,
     dim: usize,
     len: usize,
+    /// Next global id to hand out on insert. Global ids are never reused —
+    /// a consolidated-away id stays dead forever, so callers can cache ids
+    /// across consolidations.
+    next_global: u32,
 }
 
 impl ShardedIndex {
@@ -254,12 +378,19 @@ impl ShardedIndex {
     pub fn from_shards(shards: Vec<Shard>, dim: usize) -> Self {
         let len = shards.iter().map(Shard::len).sum();
         let mut seen = std::collections::HashSet::with_capacity(len);
+        let mut next_global = 0u32;
         for shard in &shards {
             for &g in &shard.global_ids {
                 assert!(seen.insert(g), "global id {g} appears in two shards");
+                next_global = next_global.max(g + 1);
             }
         }
-        Self { shards, dim, len }
+        Self {
+            shards,
+            dim,
+            len,
+            next_global,
+        }
     }
 
     /// Partitions `data` round-robin into `n_shards` in-memory shards.
@@ -322,6 +453,112 @@ impl ShardedIndex {
         Ok(Self::from_shards(shards, data.dim()))
     }
 
+    /// Partitions `data` round-robin into `n_shards` *mutable* streaming
+    /// shards (DESIGN.md §8.4): each shard is a [`StreamingIndex`] over its
+    /// partition, sharing the one trained `compressor`, so the §7.3
+    /// exact-merge contract holds under churn exactly as it does frozen —
+    /// tombstones are excluded from every shard's top-k before the merge.
+    /// Inserts and deletes route through [`ShardedIndex::insert`] /
+    /// [`ShardedIndex::remove`].
+    pub fn build_streaming<C>(
+        compressor: &C,
+        data: &Dataset,
+        n_shards: usize,
+        cfg: StreamingConfig,
+    ) -> Self
+    where
+        C: VectorCompressor + Clone + 'static,
+    {
+        assert_shardable(data.len(), n_shards);
+        let shards = partition_round_robin(data.len(), n_shards)
+            .into_iter()
+            .map(|ids| {
+                let local: Vec<usize> = ids.iter().map(|&g| g as usize).collect();
+                let part = data.subset(&local);
+                let index = StreamingIndex::build(compressor.clone(), &part, cfg);
+                Shard::new_mutable(Box::new(index), ids)
+            })
+            .collect();
+        Self::from_shards(shards, data.dim())
+    }
+
+    /// Inserts one vector, routing by round-robin on the fresh global id
+    /// (`g % n_shards` — the same rule [`partition_round_robin`] applied at
+    /// build time). Returns the global id. Panics if the chosen shard is
+    /// not mutable.
+    pub fn insert(&mut self, v: &[f32], scratch: &mut SearchScratch) -> u32 {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let g = self.next_global;
+        self.next_global += 1;
+        let n_shards = self.shards.len();
+        let shard = &mut self.shards[g as usize % n_shards];
+        let backend = shard
+            .backend
+            .mutable()
+            .expect("insert routed to a frozen shard; build with build_streaming");
+        let local = backend.insert_local(v, scratch);
+        assert_eq!(
+            local as usize,
+            shard.global_ids.len(),
+            "mutable backend broke positional id alignment"
+        );
+        shard.global_ids.push(g);
+        self.len += 1;
+        g
+    }
+
+    /// Tombstones a global id. Returns `false` when the id is unknown (or
+    /// already consolidated away), already tombstoned, or lives in a
+    /// frozen shard.
+    pub fn remove(&mut self, global_id: u32) -> bool {
+        for shard in &mut self.shards {
+            // global_ids stay sorted ascending: built that way, appended
+            // monotonically, and compaction preserves order.
+            if let Ok(local) = shard.global_ids.binary_search(&global_id) {
+                return match shard.backend.mutable() {
+                    Some(backend) => backend.remove_local(local as u32),
+                    None => false,
+                };
+            }
+        }
+        false
+    }
+
+    /// Runs a consolidation pass on every mutable shard (threshold-gated
+    /// per shard unless `force`), remapping the global-id tables through
+    /// each shard's survivor list. Returns the total number of reclaimed
+    /// points.
+    pub fn consolidate(&mut self, force: bool) -> usize {
+        let mut reclaimed = 0;
+        for shard in &mut self.shards {
+            let Some(backend) = shard.backend.mutable() else {
+                continue;
+            };
+            let Some(survivors) = backend.consolidate_local(force) else {
+                continue;
+            };
+            reclaimed += shard.global_ids.len() - survivors.len();
+            shard.global_ids = survivors
+                .iter()
+                .map(|&old| shard.global_ids[old as usize])
+                .collect();
+        }
+        self.len -= reclaimed;
+        reclaimed
+    }
+
+    /// Points that are resident and not tombstoned, across all shards
+    /// (frozen shards are all-live by definition).
+    pub fn live_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| match &s.backend {
+                ShardHandle::Frozen(b) => b.shard_len(),
+                ShardHandle::Mutable(b) => b.live_len(),
+            })
+            .sum()
+    }
+
     /// Number of shards.
     pub fn n_shards(&self) -> usize {
         self.shards.len()
@@ -351,7 +588,9 @@ impl ShardedIndex {
     pub fn resident_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.backend.resident_bytes() + s.global_ids.len() * std::mem::size_of::<u32>())
+            .map(|s| {
+                s.backend.read().resident_bytes() + s.global_ids.len() * std::mem::size_of::<u32>()
+            })
             .sum()
     }
 
@@ -365,7 +604,7 @@ impl ShardedIndex {
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, ShardQueryStats) {
         let s = &self.shards[shard];
-        let (mut res, stats) = s.backend.search_local(query, ef, k, scratch);
+        let (mut res, stats) = s.backend.read().search_local(query, ef, k, scratch);
         for n in &mut res {
             n.id = s.global_ids[n.id as usize];
         }
@@ -550,6 +789,147 @@ mod tests {
         let a = mk((0..30).collect());
         let b = mk((25..40).collect());
         let _ = ShardedIndex::from_shards(vec![a, b], base.dim());
+    }
+
+    #[test]
+    fn streaming_shards_insert_remove_consolidate() {
+        let (base, queries) = setup(180, 16);
+        let (initial, reserve) = base.split_at(150);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let mut index = ShardedIndex::build_streaming(
+            &pq,
+            &initial,
+            3,
+            crate::stream::StreamingConfig::default(),
+        );
+        assert_eq!(index.len(), 150);
+        assert_eq!(index.live_len(), 150);
+        let mut scratch = SearchScratch::new();
+
+        // Inserts continue the round-robin assignment and global id space.
+        for (i, v) in reserve.iter().enumerate() {
+            let g = index.insert(v, &mut scratch);
+            assert_eq!(g as usize, 150 + i);
+        }
+        assert_eq!(index.len(), 180);
+
+        // Deletes: removed globals never show up again.
+        let removed: Vec<u32> = (0..180u32).step_by(5).collect();
+        for &g in &removed {
+            assert!(index.remove(g), "remove({g})");
+            assert!(!index.remove(g), "double remove({g})");
+        }
+        assert_eq!(index.live_len(), 180 - removed.len());
+        let check_clean = |index: &ShardedIndex, scratch: &mut SearchScratch| {
+            for q in queries.iter() {
+                let (res, _) = index.search(q, 180, 10, scratch);
+                assert_eq!(res.len(), 10);
+                for n in &res {
+                    assert!(
+                        !removed.contains(&n.id),
+                        "tombstoned global {} returned",
+                        n.id
+                    );
+                }
+            }
+        };
+        check_clean(&index, &mut scratch);
+
+        // Consolidation reclaims them everywhere and keeps ids stable.
+        let reclaimed = index.consolidate(true);
+        assert_eq!(reclaimed, removed.len());
+        assert_eq!(index.len(), index.live_len());
+        check_clean(&index, &mut scratch);
+        // Globals handed out after consolidation don't collide.
+        let g = index.insert(reserve.get(0), &mut scratch);
+        assert_eq!(g, 180);
+    }
+
+    #[test]
+    fn streaming_sharded_exhaustive_matches_single_streaming_index() {
+        // The §7.3 exact-merge contract under churn: with a shared
+        // compressor and exhaustive beams, the sharded live index must
+        // return exactly the single index's results over the same
+        // surviving points.
+        let (base, queries) = setup(120, 17);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let cfg = crate::stream::StreamingConfig {
+            r: 16,
+            l: 40,
+            ..Default::default()
+        };
+        let mut sharded = ShardedIndex::build_streaming(&pq, &base, 2, cfg);
+        let mut single = crate::stream::StreamingIndex::build(pq.clone(), &base, cfg);
+        let mut scratch = SearchScratch::new();
+        for id in (0..120u32).step_by(7) {
+            assert!(sharded.remove(id));
+            assert!(single.remove(id));
+        }
+        sharded.consolidate(true);
+        single.consolidate(true).unwrap();
+        // Map the single index's post-consolidation local ids back to
+        // globals: survivors keep ascending order, so local i == the i-th
+        // surviving original id.
+        let survivors: Vec<u32> = (0..120u32).filter(|g| g % 7 != 0).collect();
+        for q in queries.iter() {
+            let (got, _) = sharded.search(q, 120, 10, &mut scratch);
+            let (want, _) = single.search(q, 120, 10, &mut scratch);
+            assert_eq!(
+                got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                want.iter()
+                    .map(|n| survivors[n.id as usize])
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen shard")]
+    fn insert_into_frozen_shards_panics() {
+        let (base, _) = setup(60, 18);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let mut index = ShardedIndex::build_in_memory(&pq, &base, 2, graph_builder);
+        let mut scratch = SearchScratch::new();
+        let _ = index.insert(base.get(0), &mut scratch);
+    }
+
+    #[test]
+    fn remove_on_frozen_shard_is_refused() {
+        let (base, _) = setup(60, 19);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let mut index = ShardedIndex::build_in_memory(&pq, &base, 2, graph_builder);
+        assert!(!index.remove(3));
+        assert!(!index.remove(999), "unknown id");
+        assert_eq!(index.consolidate(true), 0, "nothing mutable to reclaim");
+        assert_eq!(index.live_len(), 60);
     }
 
     #[test]

@@ -11,12 +11,27 @@
 
 use std::time::Instant;
 
-use rpq_bench::experiments::{ablation, artifacts, curves, sensitivity, serve, threads};
+use rpq_bench::experiments::{ablation, artifacts, curves, sensitivity, serve, streaming, threads};
 use rpq_bench::Scale;
 
 const ALL: &[&str] = &[
-    "table2", "fig4", "fig5", "fig6", "fig7", "table4", "table5", "table6", "table7", "fig8",
-    "fig9", "fig10", "fig11", "fig12", "serve", "threads",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "serve",
+    "streaming",
+    "threads",
 ];
 
 fn main() {
@@ -71,6 +86,7 @@ fn main() {
             "fig11" => sensitivity::fig11(&scale).print(),
             "fig12" => sensitivity::fig12(&scale).print(),
             "serve" => serve::serve(&scale).print(),
+            "streaming" => streaming::streaming(&scale).print(),
             "threads" => threads::threads(&scale).print(),
             _ => unreachable!(),
         }

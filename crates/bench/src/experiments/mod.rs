@@ -5,6 +5,7 @@ pub mod artifacts;
 pub mod curves;
 pub mod sensitivity;
 pub mod serve;
+pub mod streaming;
 pub mod threads;
 
 use std::sync::Arc;

@@ -1,0 +1,282 @@
+//! The `streaming` experiment (DESIGN.md §8.4 — no paper counterpart;
+//! this measures the repo's own live-corpus subsystem).
+//!
+//! One SIFT-like pool is split into a seed corpus and an insert reserve. A
+//! [`StreamingIndex`] is batch-built on the seed, then driven through
+//! [`Scale::streaming_rounds`] churn rounds: a deterministic insert batch
+//! from the reserve, an equal-sized deterministic delete batch spread over
+//! the live set, a threshold-gated consolidation (forced on the final round
+//! so every run demonstrates a reclaim), and a query wave. Each round
+//! reports write throughput, reclaimed tombstones, and recall@k against
+//! exact ground truth recomputed over the *current* live set — and asserts
+//! the [`Scale::streaming_recall_floor`] invariant: churn must not erode
+//! search quality below the frozen-index operating point.
+//!
+//! The run ends with the §6.2 `knn_graph_recall` substrate diagnostic on a
+//! deterministic vertex subsample: how much of the exact k-NN structure the
+//! churned, consolidated graph still carries.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use rpq_anns::stream::{StreamingConfig, StreamingIndex};
+use rpq_data::synth::DatasetKind;
+use rpq_data::{brute_force_knn, Dataset};
+use rpq_graph::{knn_graph_recall, SearchScratch};
+use rpq_quant::{PqConfig, ProductQuantizer};
+
+use crate::report::{fmt, write_json, Report};
+use crate::scale::Scale;
+
+/// One churn round of the streaming sweep.
+#[derive(Serialize, Clone, Debug)]
+pub struct StreamingRound {
+    pub round: usize,
+    pub inserts: usize,
+    pub deletes: usize,
+    pub writes_per_sec: f32,
+    pub reclaimed: usize,
+    pub live: usize,
+    /// Resident points after the round (live + not-yet-reclaimed
+    /// tombstones).
+    pub resident: usize,
+    pub recall: f32,
+}
+
+/// The persisted `bench_results/streaming.json` payload.
+#[derive(Serialize, Clone, Debug)]
+pub struct StreamingJson {
+    pub ef: usize,
+    pub k: usize,
+    pub recall_floor: f32,
+    pub rounds: Vec<StreamingRound>,
+    /// §6.2 substrate diagnostic over the final consolidated graph.
+    pub knn_graph_recall: f32,
+}
+
+/// Local ids currently live (not tombstoned), ascending.
+fn live_locals<C: rpq_quant::VectorCompressor>(index: &StreamingIndex<C>) -> Vec<u32> {
+    (0..index.len() as u32)
+        .filter(|&i| !index.is_tombstoned(i))
+        .collect()
+}
+
+/// **streaming**: write throughput and recall-under-churn across
+/// insert/delete/consolidate rounds (DESIGN.md §8.4).
+pub fn streaming(scale: &Scale) -> Report {
+    let mut report = Report::new(
+        "streaming",
+        "Streaming index: writes/sec and recall under churn",
+        &scale.label(),
+        &[
+            "Round",
+            "Inserts",
+            "Deletes",
+            "Writes/s",
+            "Reclaimed",
+            "Live",
+            "Recall@k",
+        ],
+    );
+    let n_rounds = scale.streaming_rounds.max(3);
+    let initial = scale.n_base * 2 / 3;
+    let pool = scale.n_base - initial;
+    let batch = (pool / n_rounds).max(1);
+    let (base, queries) = DatasetKind::Sift.generate(scale.n_base, scale.n_query, scale.seed);
+    let (seed_set, _) = base.split_at(initial);
+
+    // The compressor trains on the seed corpus only — in the streaming
+    // regime future points are unknown at training time.
+    let pq = ProductQuantizer::train(
+        &PqConfig {
+            m: scale.m,
+            k: scale.kk,
+            seed: scale.seed,
+            ..Default::default()
+        },
+        &seed_set,
+    );
+    let cfg = StreamingConfig {
+        seed: scale.seed,
+        ..Default::default()
+    };
+    let mut index = StreamingIndex::build(pq, &seed_set, cfg);
+    let mut scratch = SearchScratch::new();
+    // source[local id] = index into `base`, maintained across compactions
+    // so ground truth can always be recomputed over the live set.
+    let mut source: Vec<usize> = (0..initial).collect();
+    let ef = *scale.efs.last().expect("scale has beam widths");
+
+    let mut rounds = Vec::new();
+    for round in 0..n_rounds {
+        let timer = Instant::now();
+        let lo = (round * batch).min(pool);
+        let hi = ((round + 1) * batch).min(pool);
+        for i in lo..hi {
+            index.insert(base.get(initial + i), &mut scratch);
+            source.push(initial + i);
+        }
+        let inserts = hi - lo;
+
+        // Deterministic delete schedule: an equal-sized batch spread by
+        // stride over the live set, offset rotating per round so churn
+        // touches different neighborhoods.
+        let live = live_locals(&index);
+        let n_del = inserts.min(live.len().saturating_sub(1));
+        let stride = (live.len() / n_del.max(1)).max(1);
+        let mut deletes = 0;
+        let mut at = (round * 3 + 1) % stride;
+        while deletes < n_del && at < live.len() {
+            if index.remove(live[at]) {
+                deletes += 1;
+            }
+            at += stride;
+        }
+        let write_secs = timer.elapsed().as_secs_f32();
+
+        let force = round + 1 == n_rounds;
+        let mut reclaimed = 0;
+        if let Some(rep) = index.consolidate(force) {
+            reclaimed = rep.reclaimed;
+            source = rep
+                .survivors
+                .iter()
+                .map(|&old| source[old as usize])
+                .collect();
+        }
+
+        // Recall against exact ground truth over the current live set.
+        let live = live_locals(&index);
+        let live_base: Vec<usize> = live.iter().map(|&i| source[i as usize]).collect();
+        let live_data = base.subset(&live_base);
+        let gt = brute_force_knn(&live_data, &queries, scale.k);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (qi, q) in queries.iter().enumerate() {
+            let (top, _) = index.search(q, ef, scale.k, &mut scratch);
+            let got: Vec<usize> = top.iter().map(|n| source[n.id as usize]).collect();
+            let want = &gt.neighbors[qi];
+            total += want.len();
+            hits += want
+                .iter()
+                .filter(|&&g| got.contains(&live_base[g as usize]))
+                .count();
+        }
+        let recall = hits as f32 / total.max(1) as f32;
+        assert!(
+            recall >= scale.streaming_recall_floor,
+            "round {round}: recall {recall} under churn fell below the floor {}",
+            scale.streaming_recall_floor
+        );
+
+        let point = StreamingRound {
+            round,
+            inserts,
+            deletes,
+            writes_per_sec: (inserts + deletes) as f32 / write_secs.max(1e-9),
+            reclaimed,
+            live: index.live_len(),
+            resident: index.len(),
+            recall,
+        };
+        report.push_row(vec![
+            point.round.to_string(),
+            point.inserts.to_string(),
+            point.deletes.to_string(),
+            fmt(point.writes_per_sec),
+            point.reclaimed.to_string(),
+            point.live.to_string(),
+            fmt(point.recall),
+        ]);
+        rounds.push(point);
+    }
+
+    let substrate = substrate_recall(&index, &base, &source, scale.k);
+    assert!(
+        substrate > 0.1,
+        "consolidated graph lost its k-NN substrate: {substrate}"
+    );
+    report.push_row(vec![
+        "substrate".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        index.live_len().to_string(),
+        fmt(substrate),
+    ]);
+
+    write_json(
+        "streaming",
+        &StreamingJson {
+            ef,
+            k: scale.k,
+            recall_floor: scale.streaming_recall_floor,
+            rounds,
+            knn_graph_recall: substrate,
+        },
+    );
+    report
+}
+
+/// §6.2 diagnostic: fraction of each probed vertex's exact k nearest
+/// neighbors present in its out-adjacency, over a deterministic subsample.
+/// The final round forces consolidation, so every resident vertex is live.
+fn substrate_recall<C: rpq_quant::VectorCompressor>(
+    index: &StreamingIndex<C>,
+    base: &Dataset,
+    source: &[usize],
+    k: usize,
+) -> f32 {
+    let n = index.len();
+    let resident: Vec<usize> = (0..n).map(|i| source[i]).collect();
+    let live_data = base.subset(&resident);
+    let step = (n / 256).max(1);
+    let probed: Vec<usize> = (0..n).step_by(step).collect();
+    let probes = live_data.subset(&probed);
+    // k+1 because each probe finds itself at distance zero.
+    let gt = brute_force_knn(&live_data, &probes, k + 1);
+    let exact: Vec<Vec<u32>> = gt
+        .neighbors
+        .iter()
+        .zip(&probed)
+        .map(|(ns, &s)| {
+            ns.iter()
+                .copied()
+                .filter(|&j| j as usize != s)
+                .take(k)
+                .collect()
+        })
+        .collect();
+    let approx: Vec<Vec<u32>> = probed
+        .iter()
+        .map(|&s| index.graph().neighbors(s as u32).to_vec())
+        .collect();
+    knn_graph_recall(&approx, &exact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_locals_skips_tombstones() {
+        let data = DatasetKind::Ukbench.generate(200, 0, 7).0;
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 8,
+                k: 16,
+                seed: 7,
+                ..Default::default()
+            },
+            &data,
+        );
+        let mut index = StreamingIndex::build(pq, &data, StreamingConfig::default());
+        index.remove(5);
+        index.remove(11);
+        let live = live_locals(&index);
+        assert_eq!(live.len(), 198);
+        assert!(!live.contains(&5) && !live.contains(&11));
+    }
+}

@@ -25,6 +25,13 @@ pub struct Scale {
     pub scalability_sizes: Vec<usize>,
     /// Shard counts swept by the `serve` experiment (DESIGN.md §7).
     pub shard_counts: Vec<usize>,
+    /// Insert/delete/query rounds of the `streaming` experiment
+    /// (DESIGN.md §8.4).
+    pub streaming_rounds: usize,
+    /// Per-round recall@k floor the `streaming` experiment asserts; pinned
+    /// below observed values with margin for the ADC quantization ceiling
+    /// at each preset's K.
+    pub streaming_recall_floor: f32,
     /// RPQ training epochs / steps per epoch for experiment runs.
     pub rpq_epochs: usize,
     pub rpq_steps: usize,
@@ -44,6 +51,8 @@ impl Scale {
             m: 8,
             scalability_sizes: vec![400, 800, 1600],
             shard_counts: vec![1, 2],
+            streaming_rounds: 4,
+            streaming_recall_floor: 0.5,
             rpq_epochs: 2,
             rpq_steps: 8,
             seed: 42,
@@ -67,6 +76,8 @@ impl Scale {
             m: 8,
             scalability_sizes: vec![1000, 4000, 12000, 30000],
             shard_counts: vec![1, 2, 4],
+            streaming_rounds: 6,
+            streaming_recall_floor: 0.5,
             rpq_epochs: 3,
             rpq_steps: 15,
             seed: 42,
@@ -84,6 +95,8 @@ impl Scale {
             m: 8,
             scalability_sizes: vec![5000, 20_000, 80_000, 200_000],
             shard_counts: vec![1, 2, 4, 8],
+            streaming_rounds: 8,
+            streaming_recall_floor: 0.55,
             rpq_epochs: 4,
             rpq_steps: 25,
             seed: 42,

@@ -10,7 +10,7 @@
 use rpq_data::Dataset;
 use rpq_linalg::distance::sq_l2;
 
-use crate::pg::ProximityGraph;
+use crate::pg::{GraphView, ProximityGraph};
 
 /// A distance oracle from an implicit query to any graph vertex. One value
 /// per `(query, index)` pair — implementations capture the query on
@@ -105,21 +105,45 @@ impl SearchScratch {
     /// resets incrementally on entry, so calling this between queries is
     /// optional; it exists for callers that want a scratch handed to a new
     /// index in a known-clean state.
+    ///
+    /// Epoch safety: a scratch outlives index mutations (DESIGN.md §8). The
+    /// index may have *grown* since the marks were made (the visited map was
+    /// resized up by the search that made them) or *shrunk* via
+    /// [`SearchScratch::shrink_to`] after a consolidation pass — so stale
+    /// marks are cleared through a bounds-checked access instead of assuming
+    /// every recorded index still fits the map.
     pub fn reset(&mut self) {
         for &t in &self.touched {
-            self.visited[t as usize] = false;
+            if let Some(slot) = self.visited.get_mut(t as usize) {
+                *slot = false;
+            }
         }
         self.touched.clear();
+    }
+
+    /// Shrinks the visited map to `n` slots and releases the excess — what a
+    /// long-lived worker calls after its index consolidated away tombstones,
+    /// so scratch memory tracks the live index instead of the all-time peak.
+    /// Marks beyond the new length are dropped with the slots they pointed
+    /// at; the rest stay clearable by [`SearchScratch::reset`].
+    pub fn shrink_to(&mut self, n: usize) {
+        self.visited.truncate(n);
+        self.visited.shrink_to_fit();
+        self.touched.retain(|&t| (t as usize) < n);
     }
 
     fn prepare(&mut self, n: usize) {
         if self.visited.len() < n {
             self.visited.resize(n, false);
         }
-        for &t in &self.touched {
-            self.visited[t as usize] = false;
-        }
-        self.touched.clear();
+        self.reset();
+    }
+
+    /// The raw visited/touched pair, for crate-internal search routines
+    /// (graph construction and incremental insertion) that share this
+    /// scratch with [`beam_search`].
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<bool>, &mut Vec<u32>) {
+        (&mut self.visited, &mut self.touched)
     }
 
     #[inline]
@@ -153,18 +177,43 @@ impl Ord for Scored {
 /// Beam search from the graph's entry vertex: returns the top-`k` vertices
 /// by estimated distance (ascending) plus routing statistics. `ef` is the
 /// beam width `h` (clamped up to `k`).
-pub fn beam_search(
-    graph: &ProximityGraph,
+pub fn beam_search<G: GraphView>(
+    graph: &G,
     est: &impl DistanceEstimator,
     ef: usize,
     k: usize,
     scratch: &mut SearchScratch,
+) -> (Vec<Neighbor>, SearchStats) {
+    beam_search_filtered(graph, est, ef, k, scratch, |_| true)
+}
+
+/// [`beam_search`] with a result filter: vertices failing `accept` are
+/// **traversed but never returned** — they are scored, kept in the working
+/// beam, and expanded exactly as if unfiltered, so graph connectivity (and
+/// the routing path) survives intact. This is the tombstone semantics of the
+/// streaming index (DESIGN.md §8.2): deleted points keep carrying traffic
+/// until a consolidation pass re-links their neighborhoods.
+///
+/// With an all-accepting filter the result is bit-identical to
+/// [`beam_search`]: the accepted set then contains exactly the working
+/// beam's vertices (a vertex rejected by a full beam at visit time can never
+/// re-enter, since the beam's worst distance only decreases).
+pub fn beam_search_filtered<G: GraphView>(
+    graph: &G,
+    est: &impl DistanceEstimator,
+    ef: usize,
+    k: usize,
+    scratch: &mut SearchScratch,
+    accept: impl Fn(u32) -> bool,
 ) -> (Vec<Neighbor>, SearchStats) {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
     let ef = ef.max(k).max(1);
     let mut stats = SearchStats::default();
+    if graph.is_empty() {
+        return (Vec::new(), stats);
+    }
     scratch.prepare(graph.len());
 
     let entry = graph.entry();
@@ -172,16 +221,23 @@ pub fn beam_search(
     let d0 = est.distance(entry);
     stats.dist_comps += 1;
 
-    // `candidates`: min-heap of frontier vertices; `results`: bounded
-    // max-heap of the best `ef` seen (the global candidate set of Alg. 2).
+    // `candidates`: min-heap of frontier vertices; `working`: bounded
+    // max-heap of the best `ef` seen regardless of filter (the global
+    // candidate set of Alg. 2 — it drives admission and termination);
+    // `accepted`: bounded max-heap of the best `ef` accepted vertices,
+    // which is what the caller gets.
     let mut candidates: BinaryHeap<Reverse<Scored>> = BinaryHeap::new();
-    let mut results: BinaryHeap<Scored> = BinaryHeap::with_capacity(ef + 1);
+    let mut working: BinaryHeap<Scored> = BinaryHeap::with_capacity(ef + 1);
+    let mut accepted: BinaryHeap<Scored> = BinaryHeap::with_capacity(ef + 1);
     candidates.push(Reverse(Scored(d0, entry)));
-    results.push(Scored(d0, entry));
+    working.push(Scored(d0, entry));
+    if accept(entry) {
+        accepted.push(Scored(d0, entry));
+    }
 
     while let Some(Reverse(Scored(d, v))) = candidates.pop() {
-        let worst = results.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
-        if results.len() == ef && d > worst {
+        let worst = working.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
+        if working.len() == ef && d > worst {
             break;
         }
         stats.hops += 1;
@@ -191,18 +247,27 @@ pub fn beam_search(
             }
             let du = est.distance(u);
             stats.dist_comps += 1;
-            let worst = results.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
-            if results.len() < ef || du < worst {
+            let worst = working.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
+            if working.len() < ef || du < worst {
                 candidates.push(Reverse(Scored(du, u)));
-                results.push(Scored(du, u));
-                if results.len() > ef {
-                    results.pop();
+                working.push(Scored(du, u));
+                if working.len() > ef {
+                    working.pop();
+                }
+            }
+            if accept(u) {
+                let worst_a = accepted.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
+                if accepted.len() < ef || du < worst_a {
+                    accepted.push(Scored(du, u));
+                    if accepted.len() > ef {
+                        accepted.pop();
+                    }
                 }
             }
         }
     }
 
-    let mut out: Vec<Neighbor> = results
+    let mut out: Vec<Neighbor> = accepted
         .into_iter()
         .map(|Scored(d, id)| Neighbor { id, dist: d })
         .collect();
@@ -370,6 +435,90 @@ mod tests {
             b.iter().map(|n| n.id).collect::<Vec<_>>(),
             c.iter().map(|n| n.id).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn filtered_all_accepting_is_bit_identical() {
+        let (ds, g) = line_world(60);
+        for target in [3.0f32, 41.5, 58.0] {
+            let q = [target];
+            let est = ExactEstimator::new(&ds, &q);
+            let mut s1 = SearchScratch::new();
+            let mut s2 = SearchScratch::new();
+            let (plain, st1) = beam_search(&g, &est, 8, 5, &mut s1);
+            let (filt, st2) = beam_search_filtered(&g, &est, 8, 5, &mut s2, |_| true);
+            assert_eq!(st1, st2);
+            assert_eq!(
+                plain
+                    .iter()
+                    .map(|n| (n.id, n.dist.to_bits()))
+                    .collect::<Vec<_>>(),
+                filt.iter()
+                    .map(|n| (n.id, n.dist.to_bits()))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn filtered_traverses_rejected_vertices() {
+        // Reject the exact nearest vertex: the search must still route
+        // *through* it and return its live neighbors instead.
+        let (ds, g) = line_world(50);
+        let q = [30.0f32];
+        let est = ExactEstimator::new(&ds, &q);
+        let mut scratch = SearchScratch::new();
+        let (res, _) = beam_search_filtered(&g, &est, 8, 3, &mut scratch, |v| v != 30);
+        let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+        assert!(!ids.contains(&30), "rejected vertex returned: {ids:?}");
+        assert!(
+            ids.contains(&29) && ids.contains(&31),
+            "search must pass through the rejected vertex to both sides: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn scratch_survives_index_growth_and_shrink() {
+        // Epoch safety (DESIGN.md §8): one scratch, three index sizes.
+        let (small_ds, small_g) = line_world(10);
+        let (big_ds, big_g) = line_world(80);
+        let mut scratch = SearchScratch::with_capacity(10);
+        let q = [7.0f32];
+        let est_small = ExactEstimator::new(&small_ds, &q);
+        let (a, _) = beam_search(&small_g, &est_small, 4, 1, &mut scratch);
+        assert_eq!(a[0].id, 7);
+        // Grow: the index now has 8x the points the scratch was sized for.
+        let q_big = [63.0f32];
+        let est_big = ExactEstimator::new(&big_ds, &q_big);
+        let (b, _) = beam_search(&big_g, &est_big, 8, 1, &mut scratch);
+        assert_eq!(b[0].id, 63);
+        // Shrink back below the marks the big search left behind, then
+        // reset: stale marks beyond the new length must not panic and the
+        // next search must see a clean map.
+        scratch.shrink_to(10);
+        scratch.reset();
+        let (c, _) = beam_search(&small_g, &est_small, 4, 1, &mut scratch);
+        assert_eq!(c[0].id, 7);
+        let mut fresh = SearchScratch::new();
+        let (d, _) = beam_search(&small_g, &est_small, 4, 1, &mut fresh);
+        assert_eq!(
+            c.iter().map(|n| n.id).collect::<Vec<_>>(),
+            d.iter().map(|n| n.id).collect::<Vec<_>>(),
+            "reused scratch diverged from a fresh one"
+        );
+    }
+
+    #[test]
+    fn empty_graph_returns_nothing() {
+        use crate::dynamic::DynamicGraph;
+        let ds = Dataset::new(1);
+        let g = DynamicGraph::new();
+        let mut scratch = SearchScratch::new();
+        let q = [0.0f32];
+        let est = ExactEstimator::new(&ds, &q);
+        let (res, stats) = beam_search(&g, &est, 4, 2, &mut scratch);
+        assert!(res.is_empty());
+        assert_eq!(stats.dist_comps, 0);
     }
 
     #[test]

@@ -108,6 +108,105 @@ pub(crate) fn medoid(data: &Dataset) -> u32 {
     best.1
 }
 
+/// Medoid restricted to a subset: the member of `ids` closest to the mean
+/// of the vectors in `ids`. Consolidation re-centres the entry vertex on the
+/// survivors with this (DESIGN.md §8.3).
+pub(crate) fn medoid_subset(data: &Dataset, ids: &[u32]) -> u32 {
+    assert!(!ids.is_empty(), "medoid of an empty subset");
+    let d = data.dim();
+    let mut mean = vec![0.0f64; d];
+    for &i in ids {
+        for (m, &x) in mean.iter_mut().zip(data.get(i as usize)) {
+            *m += x as f64;
+        }
+    }
+    let mean: Vec<f32> = mean
+        .iter()
+        .map(|&m| (m / ids.len() as f64) as f32)
+        .collect();
+    let mut best = (f32::INFINITY, ids[0]);
+    for &i in ids {
+        let dist = sq_l2(&mean, data.get(i as usize));
+        if dist < best.0 {
+            best = (dist, i);
+        }
+    }
+    best.1
+}
+
+/// Makes every vertex reachable from `entry`: repeatedly BFS, then attach
+/// each unreachable vertex from its nearest reachable candidate in `knn`
+/// (or directly from the entry as a last resort). Attach points with spare
+/// capacity (< r + 2 edges) are preferred so repair edges spread out instead
+/// of piling onto one boundary hub and blowing the degree bound. Shared by
+/// the NSG builder and the streaming consolidation pass (DESIGN.md §8.3).
+pub(crate) fn repair_connectivity(
+    adj: &mut [Vec<u32>],
+    data: &Dataset,
+    knn: &[Vec<u32>],
+    entry: u32,
+    r: usize,
+) {
+    let n = adj.len();
+    let cap = r + 2;
+    loop {
+        let mut seen = vec![false; n];
+        let mut stack = vec![entry];
+        seen[entry as usize] = true;
+        while let Some(v) = stack.pop() {
+            for &u in &adj[v as usize] {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        let unreachable: Vec<u32> = (0..n as u32).filter(|&v| !seen[v as usize]).collect();
+        if unreachable.is_empty() {
+            return;
+        }
+        let mut progressed = false;
+        for &u in &unreachable {
+            // Nearest reachable vertex among u's kNN, preferring vertices
+            // that still have repair capacity.
+            let mut best: Option<(f32, u32)> = None;
+            let mut best_full: Option<(f32, u32)> = None;
+            for &c in &knn[u as usize] {
+                if seen[c as usize] {
+                    let d = sq_l2(data.get(u as usize), data.get(c as usize));
+                    let slot = if adj[c as usize].len() < cap {
+                        &mut best
+                    } else {
+                        &mut best_full
+                    };
+                    if slot.map(|(bd, _)| d < bd).unwrap_or(true) {
+                        *slot = Some((d, c));
+                    }
+                }
+            }
+            if let Some((_, c)) = best.or(best_full) {
+                if !adj[c as usize].contains(&u) {
+                    adj[c as usize].push(u);
+                    // Mark immediately so later repairs in this pass can
+                    // chain through `u` instead of all funnelling into the
+                    // same boundary vertices.
+                    seen[u as usize] = true;
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed {
+            // Last resort: wire the first unreachable vertex from the entry.
+            let u = unreachable[0];
+            if !adj[entry as usize].contains(&u) {
+                adj[entry as usize].push(u);
+            } else {
+                return; // cannot make progress; avoid an infinite loop
+            }
+        }
+    }
+}
+
 /// DiskANN's RobustPrune (Jayaram Subramanya et al., NeurIPS'19): greedily
 /// keeps the closest candidate and discards every other candidate `v` that
 /// is `alpha`-dominated by it (`alpha · δ(p*, v) ≤ δ(p, v)`), until `r`

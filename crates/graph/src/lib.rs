@@ -23,6 +23,7 @@
 
 pub mod beam;
 mod construction;
+pub mod dynamic;
 pub mod hnsw;
 pub mod knn;
 pub mod nsg;
@@ -30,11 +31,12 @@ pub mod pg;
 pub mod vamana;
 
 pub use beam::{
-    beam_search, beam_search_recording, DistanceEstimator, ExactEstimator, Neighbor, SearchScratch,
-    SearchStats,
+    beam_search, beam_search_filtered, beam_search_recording, DistanceEstimator, ExactEstimator,
+    Neighbor, SearchScratch, SearchStats,
 };
+pub use dynamic::DynamicGraph;
 pub use hnsw::HnswConfig;
-pub use knn::{brute_force_knn_graph, nn_descent, NnDescentConfig};
+pub use knn::{brute_force_knn_graph, knn_graph_recall, nn_descent, NnDescentConfig};
 pub use nsg::NsgConfig;
-pub use pg::ProximityGraph;
+pub use pg::{GraphView, ProximityGraph};
 pub use vamana::VamanaConfig;

@@ -7,7 +7,7 @@ use rayon::prelude::*;
 use rpq_data::Dataset;
 use rpq_linalg::distance::sq_l2;
 
-use crate::construction::{medoid, search_adj};
+use crate::construction::{medoid, repair_connectivity, search_adj};
 use crate::knn::{brute_force_knn_graph, nn_descent, NnDescentConfig};
 use crate::pg::ProximityGraph;
 
@@ -118,78 +118,6 @@ fn mrng_select(v: u32, pool: &[(f32, u32)], data: &Dataset, r: usize) -> Vec<u32
     }
     let _ = v;
     selected
-}
-
-/// Makes every vertex reachable from `entry`: repeatedly BFS, then attach
-/// each unreachable vertex from its nearest reachable k-NN neighbor (or
-/// directly from the entry as a last resort). Attach points with spare
-/// capacity (< r + 2 edges) are preferred so repair edges spread out instead
-/// of piling onto one boundary hub and blowing the degree bound.
-fn repair_connectivity(
-    adj: &mut [Vec<u32>],
-    data: &Dataset,
-    knn: &[Vec<u32>],
-    entry: u32,
-    r: usize,
-) {
-    let n = adj.len();
-    let cap = r + 2;
-    loop {
-        let mut seen = vec![false; n];
-        let mut stack = vec![entry];
-        seen[entry as usize] = true;
-        while let Some(v) = stack.pop() {
-            for &u in &adj[v as usize] {
-                if !seen[u as usize] {
-                    seen[u as usize] = true;
-                    stack.push(u);
-                }
-            }
-        }
-        let unreachable: Vec<u32> = (0..n as u32).filter(|&v| !seen[v as usize]).collect();
-        if unreachable.is_empty() {
-            return;
-        }
-        let mut progressed = false;
-        for &u in &unreachable {
-            // Nearest reachable vertex among u's kNN, preferring vertices
-            // that still have repair capacity.
-            let mut best: Option<(f32, u32)> = None;
-            let mut best_full: Option<(f32, u32)> = None;
-            for &c in &knn[u as usize] {
-                if seen[c as usize] {
-                    let d = sq_l2(data.get(u as usize), data.get(c as usize));
-                    let slot = if adj[c as usize].len() < cap {
-                        &mut best
-                    } else {
-                        &mut best_full
-                    };
-                    if slot.map(|(bd, _)| d < bd).unwrap_or(true) {
-                        *slot = Some((d, c));
-                    }
-                }
-            }
-            if let Some((_, c)) = best.or(best_full) {
-                if !adj[c as usize].contains(&u) {
-                    adj[c as usize].push(u);
-                    // Mark immediately so later repairs in this pass can
-                    // chain through `u` instead of all funnelling into the
-                    // same boundary vertices.
-                    seen[u as usize] = true;
-                    progressed = true;
-                }
-            }
-        }
-        if !progressed {
-            // Last resort: wire the first unreachable vertex from the entry.
-            let u = unreachable[0];
-            if !adj[entry as usize].contains(&u) {
-                adj[entry as usize].push(u);
-            } else {
-                return; // cannot make progress; avoid an infinite loop
-            }
-        }
-    }
 }
 
 #[cfg(test)]

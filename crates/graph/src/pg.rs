@@ -2,6 +2,41 @@
 
 use std::io::{self, Read, Write};
 
+/// The read surface beam search routes over: any adjacency structure with a
+/// designated entry vertex. Implemented by the frozen CSR
+/// [`ProximityGraph`] and by the mutable [`crate::DynamicGraph`] the
+/// streaming index patches in place (DESIGN.md §8), so one search routine
+/// serves both the build-once and the live-corpus paths.
+pub trait GraphView {
+    /// Number of vertices.
+    fn len(&self) -> usize;
+
+    /// True when there are no vertices.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The entry vertex routing starts from.
+    fn entry(&self) -> u32;
+
+    /// Out-neighbors of `v`.
+    fn neighbors(&self, v: u32) -> &[u32];
+}
+
+impl GraphView for ProximityGraph {
+    fn len(&self) -> usize {
+        ProximityGraph::len(self)
+    }
+
+    fn entry(&self) -> u32 {
+        ProximityGraph::entry(self)
+    }
+
+    fn neighbors(&self, v: u32) -> &[u32] {
+        ProximityGraph::neighbors(self, v)
+    }
+}
+
 /// A proximity graph (paper Def. 2): one vertex per dataset vector, CSR
 /// adjacency, and a designated entry vertex for routing.
 #[derive(Clone, Debug, PartialEq)]

@@ -14,7 +14,11 @@ use rayon::prelude::*;
 use rpq_data::Dataset;
 use rpq_linalg::distance::sq_l2;
 
-use crate::construction::{medoid, robust_prune, search_adj, Scored};
+use crate::beam::SearchScratch;
+use crate::construction::{
+    medoid, medoid_subset, repair_connectivity, robust_prune, search_adj, Scored,
+};
+use crate::dynamic::DynamicGraph;
 use crate::pg::ProximityGraph;
 
 /// Vamana build parameters (paper/DiskANN defaults).
@@ -121,6 +125,200 @@ impl VamanaConfig {
         }
         ProximityGraph::from_adjacency(adj, entry)
     }
+
+    /// FreshDiskANN-style greedy insert into a live graph (DESIGN.md §8.1):
+    /// beam-search the new point's vector from the entry, RobustPrune the
+    /// expanded set into its out-neighbors, then patch back-edges — any
+    /// in-neighbor pushed over the degree bound `r` is re-pruned, exactly
+    /// the batch builder's rule.
+    ///
+    /// Ids are dense: `p` must equal `graph.len()` and `data` must already
+    /// hold the vector at index `p`. The scratch is shared with
+    /// [`crate::beam_search`] and may be sized for a previous epoch; the
+    /// search grows it as needed.
+    pub fn insert_point(
+        &self,
+        graph: &mut DynamicGraph,
+        data: &Dataset,
+        p: u32,
+        scratch: &mut SearchScratch,
+    ) {
+        assert_eq!(
+            graph.len(),
+            p as usize,
+            "insert ids are dense: expected {}, got {p}",
+            graph.len()
+        );
+        assert!((p as usize) < data.len(), "vector for {p} not in dataset");
+        if graph.is_empty() {
+            graph.push_vertex(Vec::new());
+            graph.set_entry(0);
+            return;
+        }
+        let r = self.r.max(1);
+        let alpha = self.alpha.max(1.0);
+        let (visited, touched) = scratch.parts_mut();
+        let (_, expanded) = search_adj(
+            graph.adj(),
+            data,
+            data.get(p as usize),
+            graph.entry(),
+            self.l.max(r),
+            visited,
+            touched,
+        );
+        let selected = robust_prune(p, expanded, data, alpha, r);
+        let id = graph.push_vertex(selected.clone());
+        debug_assert_eq!(id, p);
+        let adj = graph.adj_mut();
+        for j in selected {
+            if adj[j as usize].contains(&p) {
+                continue;
+            }
+            adj[j as usize].push(p);
+            if adj[j as usize].len() > r {
+                let jc: Vec<Scored> = adj[j as usize]
+                    .iter()
+                    .map(|&u| (sq_l2(data.get(j as usize), data.get(u as usize)), u))
+                    .collect();
+                adj[j as usize] = robust_prune(j, jc, data, alpha, r);
+            }
+        }
+    }
+
+    /// Eagerly unlinks `p` from a live graph: every in-neighbor `u` is
+    /// re-pruned over `(N(u) ∪ N(p)) \ {p}` — the FreshDiskANN delete rule,
+    /// which preserves the paths that used to route through `p`. The vertex
+    /// itself stays as an isolated hole (ids are positional); the streaming
+    /// index instead tombstones deletes and batches this work into
+    /// [`VamanaConfig::consolidate`], so this hook is for callers that want
+    /// the graph clean immediately.
+    ///
+    /// If `p` was the entry, the entry moves to its nearest out-neighbor
+    /// (or the smallest live id when `p` had none).
+    pub fn remove_point(&self, graph: &mut DynamicGraph, data: &Dataset, p: u32) {
+        let n = graph.len();
+        assert!((p as usize) < n, "remove of unknown vertex {p}");
+        let r = self.r.max(1);
+        let alpha = self.alpha.max(1.0);
+        let p_out: Vec<u32> = graph.neighbors(p).to_vec();
+        for u in 0..n as u32 {
+            if u == p || !graph.neighbors(u).contains(&p) {
+                continue;
+            }
+            let uv = data.get(u as usize);
+            let cands: Vec<Scored> = graph
+                .neighbors(u)
+                .iter()
+                .chain(p_out.iter())
+                .filter(|&&x| x != p && x != u)
+                .map(|&x| (sq_l2(uv, data.get(x as usize)), x))
+                .collect();
+            graph.set_neighbors(u, robust_prune(u, cands, data, alpha, r));
+        }
+        graph.adj_mut()[p as usize].clear();
+        if graph.entry() == p && n > 1 {
+            let new_entry = p_out
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let da = sq_l2(data.get(p as usize), data.get(a as usize));
+                    let db = sq_l2(data.get(p as usize), data.get(b as usize));
+                    da.total_cmp(&db).then(a.cmp(&b))
+                })
+                .unwrap_or(if p == 0 { 1 } else { 0 });
+            graph.set_entry(new_entry);
+        }
+    }
+
+    /// Batch tombstone reclamation (DESIGN.md §8.3): re-links every live
+    /// vertex that pointed at a deleted one (candidates = its live neighbors
+    /// plus the live neighbors of its deleted neighbors, RobustPruned),
+    /// compacts the graph to the survivors (ids remapped to be dense,
+    /// ascending in old-id order), re-centres the entry on the survivors'
+    /// medoid, and repairs reachability capacity-aware.
+    ///
+    /// `deleted` is positional over the current graph; `data` is the
+    /// *old-id-space* dataset. Returns the survivors' old ids — new id `i`
+    /// is old id `survivors[i]`, the order side stores compact by.
+    pub fn consolidate(
+        &self,
+        graph: &mut DynamicGraph,
+        data: &Dataset,
+        deleted: &[bool],
+    ) -> Vec<u32> {
+        let n = graph.len();
+        assert_eq!(deleted.len(), n, "tombstone bitmap size mismatch");
+        let r = self.r.max(1);
+        let alpha = self.alpha.max(1.0);
+
+        // Re-link around tombstones while old ids are still valid.
+        for u in 0..n as u32 {
+            if deleted[u as usize] {
+                continue;
+            }
+            if !graph.neighbors(u).iter().any(|&x| deleted[x as usize]) {
+                continue;
+            }
+            let uv = data.get(u as usize);
+            let mut cands: Vec<Scored> = Vec::new();
+            for &x in graph.neighbors(u) {
+                if deleted[x as usize] {
+                    for &y in graph.neighbors(x) {
+                        if !deleted[y as usize] && y != u {
+                            cands.push((sq_l2(uv, data.get(y as usize)), y));
+                        }
+                    }
+                } else {
+                    cands.push((sq_l2(uv, data.get(x as usize)), x));
+                }
+            }
+            graph.set_neighbors(u, robust_prune(u, cands, data, alpha, r));
+        }
+
+        // Compact: drop tombstoned vertices and remap the survivors dense.
+        let survivors: Vec<u32> = (0..n as u32).filter(|&v| !deleted[v as usize]).collect();
+        let mut remap = vec![u32::MAX; n];
+        for (new, &old) in survivors.iter().enumerate() {
+            remap[old as usize] = new as u32;
+        }
+        let old_adj = std::mem::take(graph.adj_mut());
+        let new_adj: Vec<Vec<u32>> = survivors
+            .iter()
+            .map(|&old| {
+                old_adj[old as usize]
+                    .iter()
+                    .filter(|&&x| !deleted[x as usize])
+                    .map(|&x| remap[x as usize])
+                    .collect()
+            })
+            .collect();
+        *graph.adj_mut() = new_adj;
+        if survivors.is_empty() {
+            // Entry is meaningless on an empty graph; searches short-circuit.
+            return survivors;
+        }
+        graph.set_entry(remap[medoid_subset(data, &survivors) as usize]);
+
+        let idx: Vec<usize> = survivors.iter().map(|&v| v as usize).collect();
+        let compacted = data.subset(&idx);
+        self.repair_reachability(graph, &compacted);
+        survivors
+    }
+
+    /// Makes every vertex reachable from the entry again after incremental
+    /// edits, using each vertex's own adjacency snapshot as attach
+    /// candidates (capacity-aware: the shared NSG repair rule, PR-1 fix).
+    /// `data` must be in the graph's current id space.
+    pub fn repair_reachability(&self, graph: &mut DynamicGraph, data: &Dataset) {
+        assert_eq!(graph.len(), data.len(), "graph/dataset size mismatch");
+        if graph.len() <= 1 {
+            return;
+        }
+        let knn: Vec<Vec<u32>> = graph.adj().to_vec();
+        let entry = graph.entry();
+        repair_connectivity(graph.adj_mut(), data, &knn, entry, self.r.max(1));
+    }
 }
 
 #[cfg(test)]
@@ -204,5 +402,89 @@ mod tests {
         }
         .build(&data);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_insert_is_navigable() {
+        // Grow a graph one point at a time from empty; it must stay within
+        // the degree bound and find inserted points by exact search.
+        let data = toy(250, 11);
+        let cfg = VamanaConfig {
+            r: 12,
+            l: 32,
+            ..Default::default()
+        };
+        let mut g = crate::DynamicGraph::new();
+        let mut scratch = SearchScratch::new();
+        for p in 0..data.len() as u32 {
+            cfg.insert_point(&mut g, &data, p, &mut scratch);
+        }
+        assert_eq!(g.len(), data.len());
+        assert!(g.max_degree() <= 12, "max degree {}", g.max_degree());
+        let gt = brute_force_knn(&data, &data, 1);
+        let mut hits = 0;
+        for (qi, q) in data.iter().enumerate() {
+            let est = crate::ExactEstimator::new(&data, q);
+            let (res, _) = beam_search(&g, &est, 32, 1, &mut scratch);
+            if res.first().map(|n| n.id) == Some(gt.neighbors[qi][0]) {
+                hits += 1;
+            }
+        }
+        let recall = hits as f32 / data.len() as f32;
+        assert!(recall > 0.9, "self-recall after pure inserts: {recall}");
+    }
+
+    #[test]
+    fn remove_point_unlinks_and_patches() {
+        let data = toy(120, 12);
+        let cfg = VamanaConfig {
+            r: 10,
+            l: 24,
+            ..Default::default()
+        };
+        let mut g = crate::DynamicGraph::from_graph(&cfg.build(&data));
+        let victim = 17u32;
+        cfg.remove_point(&mut g, &data, victim);
+        assert!(g.neighbors(victim).is_empty(), "victim keeps out-edges");
+        for v in 0..g.len() as u32 {
+            assert!(
+                !g.neighbors(v).contains(&victim),
+                "{v} still points at removed {victim}"
+            );
+        }
+        assert_ne!(g.entry(), victim);
+    }
+
+    #[test]
+    fn consolidate_compacts_and_repairs() {
+        let data = toy(200, 13);
+        let cfg = VamanaConfig {
+            r: 10,
+            l: 24,
+            ..Default::default()
+        };
+        let mut g = crate::DynamicGraph::from_graph(&cfg.build(&data));
+        let mut deleted = vec![false; 200];
+        for i in (0..200).step_by(4) {
+            deleted[i] = true;
+        }
+        let survivors = cfg.consolidate(&mut g, &data, &deleted);
+        assert_eq!(survivors.len(), 150);
+        assert!(survivors.iter().all(|&v| !deleted[v as usize]));
+        assert!(survivors.windows(2).all(|w| w[0] < w[1]), "ascending ids");
+        assert_eq!(g.len(), 150);
+        assert_eq!(g.reachable_from_entry(), 150, "repair must reconnect");
+        // Degree bound with the repair slack (cap = r + 2).
+        assert!(g.max_degree() <= 12, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn consolidate_everything_leaves_empty_graph() {
+        let data = toy(40, 14);
+        let cfg = VamanaConfig::default();
+        let mut g = crate::DynamicGraph::from_graph(&cfg.build(&data));
+        let survivors = cfg.consolidate(&mut g, &data, &[true; 40]);
+        assert!(survivors.is_empty());
+        assert!(g.is_empty());
     }
 }

@@ -168,6 +168,35 @@ impl CompactCodes {
         Self { n, m, codes }
     }
 
+    /// A code store with no vectors yet — the starting state of a streaming
+    /// index (DESIGN.md §8), grown by [`CompactCodes::push`].
+    pub fn empty(m: usize) -> Self {
+        assert!(m > 0, "chunk count must be positive");
+        Self {
+            n: 0,
+            m,
+            codes: Vec::new(),
+        }
+    }
+
+    /// Appends one code; its id is the previous [`CompactCodes::len`].
+    pub fn push(&mut self, code: &[u8]) {
+        assert_eq!(code.len(), self.m, "code length mismatch");
+        self.codes.extend_from_slice(code);
+        self.n += 1;
+    }
+
+    /// Gathers the codes of `survivors` (in the given order) into a fresh
+    /// store — the code-side half of a consolidation pass, mirroring the
+    /// graph's id compaction.
+    pub fn compact(&self, survivors: &[u32]) -> CompactCodes {
+        let mut codes = Vec::with_capacity(survivors.len() * self.m);
+        for &i in survivors {
+            codes.extend_from_slice(self.code(i as usize));
+        }
+        CompactCodes::new(survivors.len(), self.m, codes)
+    }
+
     #[inline]
     pub fn len(&self) -> usize {
         self.n
@@ -354,6 +383,22 @@ mod tests {
     #[should_panic(expected = "K must be <= 256")]
     fn oversized_k_rejected() {
         let _ = Codebook::new(1, 300, 1, vec![0.0; 300]);
+    }
+
+    #[test]
+    fn push_and_compact() {
+        let mut codes = CompactCodes::empty(2);
+        assert!(codes.is_empty());
+        for i in 0..5u8 {
+            codes.push(&[i, i + 1]);
+        }
+        assert_eq!(codes.len(), 5);
+        assert_eq!(codes.code(3), &[3, 4]);
+        let kept = codes.compact(&[0, 2, 4]);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept.code(0), &[0, 1]);
+        assert_eq!(kept.code(1), &[2, 3]);
+        assert_eq!(kept.code(2), &[4, 5]);
     }
 
     #[test]

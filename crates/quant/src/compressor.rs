@@ -35,6 +35,17 @@ pub trait VectorCompressor: Send + Sync {
     /// Compresses a dataset (applying any internal rotation/projection).
     fn encode_dataset(&self, data: &Dataset) -> CompactCodes;
 
+    /// Encodes a single vector — the streaming insert path (DESIGN.md §8.1)
+    /// appends one code at a time as points arrive. Must agree bit-for-bit
+    /// with [`VectorCompressor::encode_dataset`] on the same vector; the
+    /// default guarantees that by routing through a one-vector dataset.
+    fn encode_one(&self, v: &[f32], out: &mut [u8]) {
+        let mut one = Dataset::new(self.dim());
+        one.push(v);
+        let codes = self.encode_dataset(&one);
+        out.copy_from_slice(codes.code(0));
+    }
+
     /// Reconstructs the quantized vector for one code, in the code space.
     fn decode_into(&self, code: &[u8], out: &mut [f32]);
 
@@ -64,6 +75,9 @@ impl<T: VectorCompressor + ?Sized> VectorCompressor for Box<T> {
     }
     fn encode_dataset(&self, data: &Dataset) -> CompactCodes {
         (**self).encode_dataset(data)
+    }
+    fn encode_one(&self, v: &[f32], out: &mut [u8]) {
+        (**self).encode_one(v, out)
     }
     fn decode_into(&self, code: &[u8], out: &mut [f32]) {
         (**self).decode_into(code, out)

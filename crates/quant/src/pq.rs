@@ -319,6 +319,25 @@ mod tests {
     }
 
     #[test]
+    fn trait_encode_one_matches_encode_dataset() {
+        let data = toy(50, 16, 8);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &data,
+        );
+        let codes = pq.encode_dataset(&data);
+        let mut one = vec![0u8; 4];
+        for i in [0usize, 17, 49] {
+            VectorCompressor::encode_one(&pq, data.get(i), &mut one);
+            assert_eq!(&one[..], codes.code(i), "vector {i}");
+        }
+    }
+
+    #[test]
     fn compressor_trait_surface() {
         let data = toy(200, 16, 7);
         let pq = ProductQuantizer::train(

@@ -1,0 +1,81 @@
+//! Streaming: build a small index, then live through a churn cycle —
+//! insert a batch, tombstone a batch, consolidate, and query throughout.
+//!
+//! ```text
+//! cargo run --release -p rpq --example streaming
+//! ```
+//!
+//! Pipeline (DESIGN.md §8): batch-build a [`StreamingIndex`] on a seed
+//! corpus → greedy-insert a reserve batch → tombstone a spread of points
+//! (search keeps traversing them, never returns them) → consolidate to
+//! reclaim the tombstones and compact ids → query the surviving set.
+
+use rpq_anns::stream::{StreamingConfig, StreamingIndex};
+use rpq_data::synth::DatasetKind;
+use rpq_graph::SearchScratch;
+use rpq_quant::{PqConfig, ProductQuantizer};
+
+fn main() {
+    // 1. Seed corpus + insert reserve; the compressor trains on the seed
+    //    only (in the streaming regime future points are unknown).
+    let (base, queries) = DatasetKind::Sift.generate(3000, 5, 42);
+    let (seed_set, reserve) = base.split_at(2400);
+    let pq = ProductQuantizer::train(
+        &PqConfig {
+            m: 8,
+            k: 64,
+            ..Default::default()
+        },
+        &seed_set,
+    );
+
+    // 2. Batch-build on the seed corpus.
+    let mut index = StreamingIndex::build(pq, &seed_set, StreamingConfig::default());
+    let mut scratch = SearchScratch::new();
+    println!(
+        "built: {} live points, {:.1} MiB resident",
+        index.live_len(),
+        index.memory_bytes() as f32 / (1024.0 * 1024.0)
+    );
+
+    // 3. Insert the reserve batch.
+    for i in 0..reserve.len() {
+        index.insert(reserve.get(i), &mut scratch);
+    }
+    println!("inserted {}: {} live", reserve.len(), index.live_len());
+
+    // 4. Tombstone a spread of points. O(1) each, no graph edits; they
+    //    vanish from results immediately.
+    let mut removed = 0;
+    for id in (0..index.len() as u32).step_by(4) {
+        removed += index.remove(id) as usize;
+    }
+    println!(
+        "tombstoned {removed}: {} live of {} resident ({:.0}% dead)",
+        index.live_len(),
+        index.len(),
+        index.tombstone_fraction() * 100.0
+    );
+    let (top, _) = index.search(queries.get(0), 60, 10, &mut scratch);
+    assert!(top.iter().all(|n| !index.is_tombstoned(n.id)));
+
+    // 5. Consolidate: reclaim the tombstones, re-link their neighborhoods,
+    //    compact the id space.
+    let report = index.consolidate(true).expect("tombstones to reclaim");
+    println!(
+        "consolidated: reclaimed {}, {} live, ids compacted dense",
+        report.reclaimed,
+        index.live_len()
+    );
+
+    // 6. Query the survivors.
+    for qi in 0..queries.len() {
+        let (top, stats) = index.search(queries.get(qi), 60, 10, &mut scratch);
+        let ids: Vec<u32> = top.iter().map(|n| n.id).collect();
+        println!(
+            "query {qi}: top-10 {ids:?} ({} hops, {} distance computations)",
+            stats.hops, stats.dist_comps
+        );
+    }
+    println!("\nevery returned id is live; the graph survived the churn.");
+}

@@ -8,6 +8,7 @@
 //! scope on the calling thread, so both widths run inside one process.
 
 use rpq_anns::serve::ShardedIndex;
+use rpq_anns::stream::{StreamingConfig, StreamingIndex};
 use rpq_anns::{sweep_memory, InMemoryIndex};
 use rpq_data::synth::{SynthConfig, ValueTransform};
 use rpq_data::{brute_force_knn, Dataset};
@@ -138,6 +139,69 @@ fn memory_sweep_is_thread_invariant() {
             .collect::<Vec<_>>()
     });
     assert_eq!(sweep.len(), 2);
+}
+
+#[test]
+fn streaming_lifecycle_is_thread_invariant() {
+    // A scripted insert/delete/consolidate schedule must leave bit-identical
+    // graphs, survivor lists, and search results at every pool width: the
+    // initial batch build is the only parallel stage, and PR-3's regime
+    // makes it order-deterministic.
+    let data = ci_data(400, 11);
+    let (seed_set, pool) = data.split_at(280);
+    let (inserts, queries) = pool.split_at(100);
+
+    let (adjacency, survivors, ids) =
+        assert_thread_invariant("streaming insert/delete/consolidate", || {
+            let pq = ProductQuantizer::train(
+                &PqConfig {
+                    m: 4,
+                    k: 16,
+                    ..Default::default()
+                },
+                &seed_set,
+            );
+            let mut index = StreamingIndex::build(
+                pq,
+                &seed_set,
+                StreamingConfig {
+                    r: 8,
+                    l: 16,
+                    ..Default::default()
+                },
+            );
+            let mut scratch = SearchScratch::new();
+            for i in 0..inserts.len() {
+                index.insert(inserts.get(i), &mut scratch);
+                if i % 3 == 1 {
+                    // Deterministic victim; double-removal is a no-op.
+                    index.remove(((i * 7) % index.len()) as u32);
+                }
+            }
+            let survivors = index
+                .consolidate(true)
+                .map(|r| r.survivors)
+                .unwrap_or_default();
+            // A post-compaction wave exercises insertion into the shrunken
+            // id space.
+            for i in 0..20 {
+                index.insert(inserts.get(i), &mut scratch);
+            }
+            let adjacency: Vec<Vec<u32>> = (0..index.len() as u32)
+                .map(|v| index.graph().neighbors(v).to_vec())
+                .collect();
+            let ids: Vec<Vec<(u32, u32)>> = (0..queries.len())
+                .map(|qi| {
+                    let (res, _) = index.search(queries.get(qi), 40, 10, &mut scratch);
+                    res.iter().map(|n| (n.id, n.dist.to_bits())).collect()
+                })
+                .collect();
+            (adjacency, survivors, ids)
+        });
+    assert!(!adjacency.is_empty());
+    assert!(!survivors.is_empty());
+    assert_eq!(ids.len(), queries.len());
+    assert!(ids.iter().all(|l| !l.is_empty()));
 }
 
 #[test]

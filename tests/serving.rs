@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use rpq_anns::serve::{ServeConfig, ServeEngine, ShardedIndex};
+use rpq_anns::stream::StreamingConfig;
 use rpq_anns::{sweep_disk, sweep_memory, DiskIndex, DiskIndexConfig, InMemoryIndex};
 use rpq_bench::Scale;
 use rpq_data::brute_force_knn;
@@ -165,6 +166,46 @@ fn disk_sweep_invariants_hold_at_ci_scale() {
         assert!(p.hops > 0.0);
         assert!(p.qps > 0.0);
     }
+}
+
+#[test]
+fn tombstoned_points_never_appear_in_sharded_results() {
+    // Acceptance invariant for the streaming serve path: once a global id
+    // is removed, no query may return it — not while it sits tombstoned in
+    // its shard, and not after consolidation compacts it away.
+    let (base, queries, pq) = ci_bench(12, 31);
+    let mut index = ShardedIndex::build_streaming(&pq, &base, 3, StreamingConfig::default());
+    let mut scratch = SearchScratch::new();
+
+    let removed: Vec<u32> = (0..base.len() as u32).step_by(9).collect();
+    for &g in &removed {
+        assert!(index.remove(g), "removing live global id {g}");
+    }
+    assert_eq!(index.live_len(), base.len() - removed.len());
+
+    let assert_clean = |index: &ShardedIndex, scratch: &mut SearchScratch| {
+        for qi in 0..queries.len() {
+            // Exhaustive beam: every live point is reachable and ranked.
+            let (top, _) = index.search(queries.get(qi), base.len(), 10, scratch);
+            assert_eq!(top.len(), 10);
+            for n in &top {
+                assert!(
+                    !removed.contains(&n.id),
+                    "tombstoned global id {} surfaced on query {qi}",
+                    n.id
+                );
+            }
+        }
+    };
+    assert_clean(&index, &mut scratch);
+
+    let reclaimed = index.consolidate(true);
+    assert_eq!(reclaimed, removed.len(), "every tombstone reclaimed");
+    assert_eq!(index.live_len(), base.len() - removed.len());
+    assert_clean(&index, &mut scratch);
+
+    // Removed ids are gone for good: a second remove is refused.
+    assert!(removed.iter().all(|&g| !index.remove(g)));
 }
 
 #[test]
