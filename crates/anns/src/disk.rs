@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rpq_data::Dataset;
 use rpq_graph::{Neighbor, ProximityGraph};
 use rpq_linalg::distance::sq_l2;
-use rpq_quant::{CompactCodes, VectorCompressor};
+use rpq_quant::{CompactCodes, SoaCodes, VectorCompressor};
 
 use crate::cache::{CacheStats, NodeCache};
 
@@ -197,6 +197,10 @@ pub struct DiskIndex<C: VectorCompressor> {
     store: DiskStore,
     compressor: C,
     codes: CompactCodes,
+    /// Chunk-major mirror of `codes` for the batched ADC kernels
+    /// (DESIGN.md §9); routing scores each fetched block's neighbors as one
+    /// batch.
+    soa: SoaCodes,
     entry: u32,
     cache: Option<NodeCache>,
     cfg: DiskIndexConfig,
@@ -215,11 +219,13 @@ impl<C: VectorCompressor> DiskIndex<C> {
         assert_eq!(compressor.dim(), data.dim(), "compressor dim mismatch");
         let store = DiskStore::build(&cfg.path, data, graph, cfg.sector_bytes.max(512))?;
         let codes = compressor.encode_dataset(data);
+        let soa = SoaCodes::from_compact(&codes);
         let cache = (cfg.cache_nodes > 0).then(|| NodeCache::warm(graph, data, cfg.cache_nodes));
         Ok(Self {
             store,
             compressor,
             codes,
+            soa,
             entry: graph.entry(),
             cache,
             cfg,
@@ -236,10 +242,11 @@ impl<C: VectorCompressor> DiskIndex<C> {
         self.len() == 0
     }
 
-    /// Resident (RAM) bytes: compact codes + model + node cache. The graph
-    /// and vectors are on disk.
+    /// Resident (RAM) bytes: compact codes (both layouts) + model + node
+    /// cache. The graph and vectors are on disk.
     pub fn resident_bytes(&self) -> usize {
         self.codes.memory_bytes()
+            + self.soa.memory_bytes()
             + self.compressor.model_bytes()
             + self
                 .cache
@@ -284,11 +291,19 @@ impl<C: VectorCompressor> DiskIndex<C> {
 
         let ef = ef.max(k).max(1);
         let mut stats = DiskSearchStats::default();
-        let est = self.compressor.estimator(&self.codes, query);
+        // Batched SoA estimator when the compressor has one (bit-identical
+        // to the scalar path by contract); routing batches each fetched
+        // block's unvisited neighbors below either way.
+        let est = self
+            .compressor
+            .batch_estimator(&self.soa, query)
+            .unwrap_or_else(|| self.compressor.estimator(&self.codes, query));
         let mut visited: HashMap<u32, ()> = HashMap::new();
         let mut exact: HashMap<u32, f32> = HashMap::new();
         let mut block = Vec::new();
         let mut vec_buf = vec![0.0f32; self.store.dim];
+        let mut unvisited: Vec<u32> = Vec::new();
+        let mut dists: Vec<f32> = Vec::new();
 
         let start_reads = self.store.reads.load(Ordering::Relaxed);
         let entry = self.entry;
@@ -323,13 +338,22 @@ impl<C: VectorCompressor> DiskIndex<C> {
                     nbrs
                 }
             };
+            // Gather the block's unvisited neighbors and score them as one
+            // batch; admission runs in the same order with the same values,
+            // so results match the per-neighbor loop bit for bit.
+            unvisited.clear();
             for u in nbrs {
                 if visited.contains_key(&u) {
                     continue;
                 }
                 visited.insert(u, ());
-                let du = est.distance(u);
-                stats.dist_comps += 1;
+                unvisited.push(u);
+            }
+            dists.clear();
+            dists.resize(unvisited.len(), 0.0);
+            est.distance_batch(&unvisited, &mut dists);
+            stats.dist_comps += unvisited.len();
+            for (&u, &du) in unvisited.iter().zip(dists.iter()) {
                 let worst = pool.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
                 if pool.len() < ef || du < worst {
                     frontier.push(Reverse(S(du, u)));

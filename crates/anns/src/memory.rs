@@ -4,7 +4,7 @@
 
 use rpq_data::Dataset;
 use rpq_graph::{beam_search, Neighbor, ProximityGraph, SearchScratch, SearchStats};
-use rpq_quant::{CompactCodes, VectorCompressor};
+use rpq_quant::{CompactCodes, SoaCodes, VectorCompressor};
 
 /// An in-memory PQ-integrated index over a proximity graph.
 ///
@@ -41,6 +41,10 @@ use rpq_quant::{CompactCodes, VectorCompressor};
 pub struct InMemoryIndex<C: VectorCompressor> {
     graph: ProximityGraph,
     codes: CompactCodes,
+    /// Chunk-major mirror of `codes`, built once at index time so searches
+    /// can use the batched ADC kernels (DESIGN.md §9) when the compressor
+    /// provides them.
+    soa: SoaCodes,
     compressor: C,
 }
 
@@ -52,15 +56,22 @@ impl<C: VectorCompressor> InMemoryIndex<C> {
         assert_eq!(graph.len(), data.len(), "graph/dataset size mismatch");
         assert_eq!(compressor.dim(), data.dim(), "compressor dim mismatch");
         let codes = compressor.encode_dataset(data);
+        let soa = SoaCodes::from_compact(&codes);
         Self {
             graph,
             codes,
+            soa,
             compressor,
         }
     }
 
     /// Beam search with ADC-only distances; returns top-`k` ids with their
     /// estimated distances.
+    ///
+    /// When the compressor exposes a batched SoA estimator it is used —
+    /// bit-identical to the scalar path by contract
+    /// ([`VectorCompressor::batch_estimator`]), so results and stats do not
+    /// depend on which path ran.
     pub fn search(
         &self,
         query: &[f32],
@@ -68,6 +79,9 @@ impl<C: VectorCompressor> InMemoryIndex<C> {
         k: usize,
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, SearchStats) {
+        if let Some(est) = self.compressor.batch_estimator(&self.soa, query) {
+            return beam_search(&self.graph, &est, ef, k, scratch);
+        }
         let est = self.compressor.estimator(&self.codes, query);
         beam_search(&self.graph, &est, ef, k, scratch)
     }
@@ -97,10 +111,15 @@ impl<C: VectorCompressor> InMemoryIndex<C> {
         self.len() == 0
     }
 
-    /// Total resident bytes: graph + codes + model — the quantity the
-    /// paper's in-memory scenario budgets (memory constraint `f`·dataset).
+    /// Total resident bytes: graph + codes (both layouts) + model — the
+    /// quantity the paper's in-memory scenario budgets (memory constraint
+    /// `f`·dataset). The SoA mirror doubles the code bytes, which stay tiny
+    /// next to the graph and the raw vectors they replace.
     pub fn memory_bytes(&self) -> usize {
-        self.graph.memory_bytes() + self.codes.memory_bytes() + self.compressor.model_bytes()
+        self.graph.memory_bytes()
+            + self.codes.memory_bytes()
+            + self.soa.memory_bytes()
+            + self.compressor.model_bytes()
     }
 }
 

@@ -21,7 +21,7 @@ use rpq_data::Dataset;
 use rpq_graph::{
     beam_search_filtered, DynamicGraph, Neighbor, SearchScratch, SearchStats, VamanaConfig,
 };
-use rpq_quant::{CompactCodes, VectorCompressor};
+use rpq_quant::{CompactCodes, SoaCodes, VectorCompressor};
 
 /// Parameters of the streaming lifecycle.
 #[derive(Clone, Copy, Debug)]
@@ -116,6 +116,11 @@ pub struct StreamingIndex<C: VectorCompressor> {
     graph: DynamicGraph,
     vectors: Dataset,
     codes: CompactCodes,
+    /// Chunk-major mirror of `codes`, kept in lock-step by
+    /// [`StreamingIndex::insert`] and [`StreamingIndex::consolidate`] so
+    /// queries can use the batched ADC kernels (DESIGN.md §9). Per-chunk
+    /// rows make appends O(M) amortized — mutability costs nothing here.
+    soa: SoaCodes,
     tombstones: Vec<bool>,
     live: usize,
     cfg: StreamingConfig,
@@ -129,9 +134,11 @@ impl<C: VectorCompressor> StreamingIndex<C> {
         // compressor's chunk count — the one thing the trait doesn't expose
         // directly.
         let codes = compressor.encode_dataset(&Dataset::new(compressor.dim()));
+        let soa = SoaCodes::empty(codes.m());
         Self {
             vectors: Dataset::new(compressor.dim()),
             codes,
+            soa,
             tombstones: Vec::new(),
             live: 0,
             graph: DynamicGraph::new(),
@@ -147,11 +154,13 @@ impl<C: VectorCompressor> StreamingIndex<C> {
     pub fn build(compressor: C, data: &Dataset, cfg: StreamingConfig) -> Self {
         assert_eq!(compressor.dim(), data.dim(), "compressor dim mismatch");
         let codes = compressor.encode_dataset(data);
+        let soa = SoaCodes::from_compact(&codes);
         let mut graph = DynamicGraph::from_graph(&cfg.vamana().build(data));
         cfg.vamana().repair_reachability(&mut graph, data);
         Self {
             vectors: data.clone(),
             codes,
+            soa,
             tombstones: vec![false; data.len()],
             live: data.len(),
             graph,
@@ -169,6 +178,7 @@ impl<C: VectorCompressor> StreamingIndex<C> {
         let mut code = vec![0u8; self.codes.m()];
         self.compressor.encode_one(v, &mut code);
         self.codes.push(&code);
+        self.soa.push(&code);
         self.tombstones.push(false);
         self.cfg
             .vamana()
@@ -202,6 +212,14 @@ impl<C: VectorCompressor> StreamingIndex<C> {
         k: usize,
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, SearchStats) {
+        // Batched SoA estimator when available — bit-identical to the
+        // scalar path by contract, so the tombstone filter and every
+        // returned distance are unaffected by which path ran.
+        if let Some(est) = self.compressor.batch_estimator(&self.soa, query) {
+            return beam_search_filtered(&self.graph, &est, ef, k, scratch, |v| {
+                !self.tombstones[v as usize]
+            });
+        }
         let est = self.compressor.estimator(&self.codes, query);
         beam_search_filtered(&self.graph, &est, ef, k, scratch, |v| {
             !self.tombstones[v as usize]
@@ -226,6 +244,7 @@ impl<C: VectorCompressor> StreamingIndex<C> {
         let idx: Vec<usize> = survivors.iter().map(|&v| v as usize).collect();
         self.vectors = self.vectors.subset(&idx);
         self.codes = self.codes.compact(&survivors);
+        self.soa = self.soa.compact(&survivors);
         self.tombstones = vec![false; survivors.len()];
         debug_assert_eq!(self.live, survivors.len());
         Some(ConsolidateReport {
@@ -293,6 +312,7 @@ impl<C: VectorCompressor> StreamingIndex<C> {
     pub fn memory_bytes(&self) -> usize {
         self.graph.memory_bytes()
             + self.codes.memory_bytes()
+            + self.soa.memory_bytes()
             + self.compressor.model_bytes()
             + self.vectors.memory_bytes()
             + self.tombstones.capacity()

@@ -11,7 +11,9 @@
 
 use std::time::Instant;
 
-use rpq_bench::experiments::{ablation, artifacts, curves, sensitivity, serve, streaming, threads};
+use rpq_bench::experiments::{
+    ablation, artifacts, curves, hotpath, sensitivity, serve, streaming, threads,
+};
 use rpq_bench::Scale;
 
 const ALL: &[&str] = &[
@@ -32,6 +34,7 @@ const ALL: &[&str] = &[
     "serve",
     "streaming",
     "threads",
+    "hotpath",
 ];
 
 fn main() {
@@ -88,6 +91,7 @@ fn main() {
             "serve" => serve::serve(&scale).print(),
             "streaming" => streaming::streaming(&scale).print(),
             "threads" => threads::threads(&scale).print(),
+            "hotpath" => hotpath::hotpath(&scale).print(),
             _ => unreachable!(),
         }
         eprintln!("[{id}] done in {:.1}s", start.elapsed().as_secs_f32());

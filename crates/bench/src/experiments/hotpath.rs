@@ -1,0 +1,226 @@
+//! The `hotpath` experiment: throughput of the ADC scoring kernels
+//! (DESIGN.md §9) — scalar AoS lookups vs the batched SoA kernel vs the
+//! 4-bit packed kernel — swept over PQ shapes (M, K).
+//!
+//! Every (M, K) point trains a PQ on the bench corpus, encodes it in both
+//! layouts, and times how fast each kernel scores the full code store for
+//! a rotating set of queries (best-of-`REPS` wall clock, reported as
+//! millions of codes scored per second). While timing, the experiment
+//! **asserts** the batched distances are bit-identical to the scalar
+//! LUT's, and that the 4-bit kernel's error stays within its proven
+//! `M·Δ/2` bound — the numbers are only comparable because the work is
+//! provably the same.
+//!
+//! Single-core caveat (DESIGN.md §7.6 applies here too): on a 1-core CI
+//! runner the batched kernel's win is mostly cache locality and bounds-
+//! check elision, so CI gates on *non-regression* (best batched speedup
+//! ≥ 1×); read the headline speedups from a multi-core desktop run.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use rpq_data::synth::DatasetKind;
+use rpq_graph::DistanceEstimator;
+use rpq_quant::{
+    BatchAdcEstimator, Packed4AdcEstimator, PackedCodes4, PqConfig, ProductQuantizer, QuantizedLut,
+    SoaCodes, VectorCompressor, ADC_BLOCK,
+};
+
+use crate::report::{fmt, write_json, Report};
+use crate::scale::Scale;
+use crate::setup::make_bench;
+
+/// Timed repetitions per kernel; the best one is reported.
+const REPS: usize = 3;
+
+/// One (M, K) sweep point. Throughputs are millions of codes scored per
+/// second; `packed4_*` fields are zero when K > 16 (the packed kernel
+/// needs nibble codes).
+#[derive(Serialize, Clone, Copy, Debug)]
+pub struct HotpathPoint {
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    pub block: usize,
+    pub scalar_mcps: f32,
+    pub batched_mcps: f32,
+    /// batched / scalar — the CI non-regression gate reads this.
+    pub batched_speedup: f32,
+    pub packed4_mcps: f32,
+    pub packed4_speedup: f32,
+    /// Largest observed |4-bit − exact| across the timed queries.
+    pub packed4_max_err: f32,
+    /// The proven `M·Δ/2` bound the observation must sit under.
+    pub packed4_err_bound: f32,
+}
+
+fn best_of<F: FnMut()>(mut f: F) -> f32 {
+    let mut best = f32::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f32());
+    }
+    best
+}
+
+fn run_point(scale: &Scale, m: usize, k: usize) -> HotpathPoint {
+    let bench = make_bench(
+        DatasetKind::Sift,
+        scale.n_base,
+        scale.n_query,
+        scale.k,
+        scale.seed,
+    );
+    let pq = ProductQuantizer::train(
+        &PqConfig {
+            m,
+            k,
+            ..Default::default()
+        },
+        &bench.base,
+    );
+    let codes = pq.encode_dataset(&bench.base);
+    let soa = SoaCodes::from_compact(&codes);
+    let n = codes.len();
+    let ids: Vec<u32> = (0..n as u32).collect();
+    let mut out = vec![0.0f32; n];
+    let n_queries = bench.queries.len().clamp(1, 8);
+    let codes_scored = (n * n_queries) as f32;
+
+    // Scalar baseline: the AoS LUT walk every pre-batching search ran.
+    let scalar_s = best_of(|| {
+        for qi in 0..n_queries {
+            let lut = pq.lookup_table(bench.queries.get(qi));
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = lut.distance(codes.code(i));
+            }
+        }
+    });
+
+    // Batched SoA kernel — asserted bit-identical to the scalar walk.
+    let mut batched_out = vec![0.0f32; n];
+    let batched_s = best_of(|| {
+        for qi in 0..n_queries {
+            let est = BatchAdcEstimator::new(pq.lookup_table(bench.queries.get(qi)), &soa);
+            est.distance_batch(&ids, &mut batched_out);
+        }
+    });
+    {
+        let lut = pq.lookup_table(bench.queries.get(0));
+        let est = BatchAdcEstimator::new(pq.lookup_table(bench.queries.get(0)), &soa);
+        est.distance_batch(&ids, &mut batched_out);
+        for (i, got) in batched_out.iter().enumerate() {
+            assert_eq!(
+                lut.distance(codes.code(i)).to_bits(),
+                got.to_bits(),
+                "batched kernel diverged from scalar at code {i} (m={m}, k={k})"
+            );
+        }
+    }
+
+    // 4-bit packed kernel: only meaningful for nibble codebooks.
+    let (packed4_s, packed4_max_err, packed4_err_bound) = if k <= 16 {
+        let packed = PackedCodes4::from_compact(&codes);
+        let mut p4_out = vec![0.0f32; n];
+        let secs = best_of(|| {
+            for qi in 0..n_queries {
+                let qlut = QuantizedLut::new(&pq.lookup_table(bench.queries.get(qi)));
+                let est = Packed4AdcEstimator::new(qlut, &packed);
+                est.distance_batch(&ids, &mut p4_out);
+            }
+        });
+        let mut max_err = 0.0f32;
+        let mut bound = 0.0f32;
+        for qi in 0..n_queries {
+            let lut = pq.lookup_table(bench.queries.get(qi));
+            let qlut = QuantizedLut::new(&lut);
+            bound = bound.max(qlut.error_bound());
+            let est = Packed4AdcEstimator::new(qlut, &packed);
+            est.distance_batch(&ids, &mut p4_out);
+            for (i, got) in p4_out.iter().enumerate() {
+                max_err = max_err.max((got - lut.distance(codes.code(i))).abs());
+            }
+        }
+        assert!(
+            max_err <= bound * 1.0001 + 1e-5,
+            "4-bit error {max_err} exceeds proven bound {bound} (m={m}, k={k})"
+        );
+        (secs, max_err, bound)
+    } else {
+        (f32::INFINITY, 0.0, 0.0)
+    };
+
+    let mcps = |secs: f32| {
+        if secs.is_finite() {
+            codes_scored / secs.max(1e-9) / 1e6
+        } else {
+            0.0
+        }
+    };
+    HotpathPoint {
+        m,
+        k,
+        n,
+        block: ADC_BLOCK,
+        scalar_mcps: mcps(scalar_s),
+        batched_mcps: mcps(batched_s),
+        batched_speedup: scalar_s / batched_s.max(1e-9),
+        packed4_mcps: mcps(packed4_s),
+        packed4_speedup: if packed4_s.is_finite() {
+            scalar_s / packed4_s.max(1e-9)
+        } else {
+            0.0
+        },
+        packed4_max_err,
+        packed4_err_bound,
+    }
+}
+
+/// **hotpath**: ADC kernel throughput over PQ shapes, with exactness
+/// asserted inline.
+pub fn hotpath(scale: &Scale) -> Report {
+    let mut report = Report::new(
+        "hotpath",
+        "ADC kernel throughput: scalar vs batched SoA vs 4-bit packed",
+        &scale.label(),
+        &[
+            "M",
+            "K",
+            "Scalar Mc/s",
+            "Batched Mc/s",
+            "Batched ×",
+            "4-bit Mc/s",
+            "4-bit ×",
+            "4-bit err",
+            "Err bound",
+        ],
+    );
+    // The sweep covers the repo's operating shapes: the scale preset's own
+    // (M, K), the nibble regime the 4-bit kernel targets, and the paper's
+    // K=256 codebooks.
+    let mut shapes = vec![(4, 16), (8, 16), (scale.m, scale.kk), (8, 256), (16, 256)];
+    shapes.dedup();
+    let mut rows = Vec::new();
+    for (m, k) in shapes {
+        if rows.iter().any(|p: &HotpathPoint| p.m == m && p.k == k) {
+            continue;
+        }
+        let p = run_point(scale, m, k);
+        report.push_row(vec![
+            p.m.to_string(),
+            p.k.to_string(),
+            fmt(p.scalar_mcps),
+            fmt(p.batched_mcps),
+            fmt(p.batched_speedup),
+            fmt(p.packed4_mcps),
+            fmt(p.packed4_speedup),
+            fmt(p.packed4_max_err),
+            fmt(p.packed4_err_bound),
+        ]);
+        rows.push(p);
+    }
+    write_json("hotpath", &rows);
+    report
+}

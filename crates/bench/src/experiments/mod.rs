@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod artifacts;
 pub mod curves;
+pub mod hotpath;
 pub mod sensitivity;
 pub mod serve;
 pub mod streaming;

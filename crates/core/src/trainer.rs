@@ -190,6 +190,14 @@ impl VectorCompressor for RpqCompressor {
     ) -> Box<dyn DistanceEstimator + 'a> {
         self.inner.estimator(codes, query)
     }
+
+    fn batch_estimator<'a>(
+        &'a self,
+        codes: &'a rpq_quant::SoaCodes,
+        query: &'a [f32],
+    ) -> Option<Box<dyn DistanceEstimator + 'a>> {
+        self.inner.batch_estimator(codes, query)
+    }
 }
 
 /// Trains RPQ end to end on `data` over the proximity graph `graph`.

@@ -18,6 +18,24 @@ use crate::pg::{GraphView, ProximityGraph};
 pub trait DistanceEstimator {
     /// Estimated distance from the captured query to vertex `node`.
     fn distance(&self, node: u32) -> f32;
+
+    /// Scores a batch of vertices into `out` (same length as `nodes`).
+    ///
+    /// [`beam_search`] routes every expansion's unvisited neighbors through
+    /// this method, so estimators with a block kernel (e.g. the SoA ADC
+    /// kernels in `rpq-quant`) get register-friendly batches without any
+    /// caller changes. The default loops over [`DistanceEstimator::distance`].
+    ///
+    /// Contract: implementations must return **bit-identical** values to
+    /// per-node `distance` calls — batching is a layout/throughput
+    /// optimisation, never a numerical one — so search results are
+    /// independent of how candidates happen to be blocked.
+    fn distance_batch(&self, nodes: &[u32], out: &mut [f32]) {
+        debug_assert_eq!(nodes.len(), out.len(), "nodes/out length mismatch");
+        for (o, &n) in out.iter_mut().zip(nodes) {
+            *o = self.distance(n);
+        }
+    }
 }
 
 /// Exact squared-Euclidean distances against the original vectors.
@@ -45,12 +63,20 @@ impl<T: DistanceEstimator + ?Sized> DistanceEstimator for &T {
     fn distance(&self, node: u32) -> f32 {
         (**self).distance(node)
     }
+    #[inline]
+    fn distance_batch(&self, nodes: &[u32], out: &mut [f32]) {
+        (**self).distance_batch(nodes, out)
+    }
 }
 
 impl<T: DistanceEstimator + ?Sized> DistanceEstimator for Box<T> {
     #[inline]
     fn distance(&self, node: u32) -> f32 {
         (**self).distance(node)
+    }
+    #[inline]
+    fn distance_batch(&self, nodes: &[u32], out: &mut [f32]) {
+        (**self).distance_batch(nodes, out)
     }
 }
 
@@ -76,6 +102,11 @@ pub struct SearchStats {
 pub struct SearchScratch {
     visited: Vec<bool>,
     touched: Vec<u32>,
+    /// Unvisited neighbors of the current expansion, gathered so the
+    /// estimator can score them as one batch.
+    frontier: Vec<u32>,
+    /// Their batch-scored distances (parallel to `frontier`).
+    dists: Vec<f32>,
 }
 
 impl SearchScratch {
@@ -91,6 +122,8 @@ impl SearchScratch {
         Self {
             visited: vec![false; n],
             touched: Vec::with_capacity(256),
+            frontier: Vec::with_capacity(64),
+            dists: Vec::with_capacity(64),
         }
     }
 
@@ -99,6 +132,8 @@ impl SearchScratch {
     pub fn memory_bytes(&self) -> usize {
         self.visited.capacity() * std::mem::size_of::<bool>()
             + self.touched.capacity() * std::mem::size_of::<u32>()
+            + self.frontier.capacity() * std::mem::size_of::<u32>()
+            + self.dists.capacity() * std::mem::size_of::<f32>()
     }
 
     /// Forgets all visited marks without releasing memory. `beam_search`
@@ -235,18 +270,31 @@ pub fn beam_search_filtered<G: GraphView>(
         accepted.push(Scored(d0, entry));
     }
 
+    // The expansion's unvisited neighbors are gathered first and scored as
+    // one `distance_batch` call (the SoA ADC kernels turn this into a
+    // block-processed table pass, DESIGN.md §9). Distances never depend on
+    // heap state, and admission below runs in the same neighbor order with
+    // the same (bit-identical, per the estimator contract) values — so this
+    // restructure cannot change any result, only the memory access pattern.
+    let mut frontier = std::mem::take(&mut scratch.frontier);
+    let mut dists = std::mem::take(&mut scratch.dists);
     while let Some(Reverse(Scored(d, v))) = candidates.pop() {
         let worst = working.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
         if working.len() == ef && d > worst {
             break;
         }
         stats.hops += 1;
+        frontier.clear();
         for &u in graph.neighbors(v) {
-            if !scratch.mark(u) {
-                continue;
+            if scratch.mark(u) {
+                frontier.push(u);
             }
-            let du = est.distance(u);
-            stats.dist_comps += 1;
+        }
+        dists.clear();
+        dists.resize(frontier.len(), 0.0);
+        est.distance_batch(&frontier, &mut dists);
+        stats.dist_comps += frontier.len();
+        for (&u, &du) in frontier.iter().zip(dists.iter()) {
             let worst = working.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
             if working.len() < ef || du < worst {
                 candidates.push(Reverse(Scored(du, u)));
@@ -266,6 +314,8 @@ pub fn beam_search_filtered<G: GraphView>(
             }
         }
     }
+    scratch.frontier = frontier;
+    scratch.dists = dists;
 
     let mut out: Vec<Neighbor> = accepted
         .into_iter()

@@ -215,7 +215,11 @@ impl CompactCodes {
     /// The code of vector `i`.
     #[inline]
     pub fn code(&self, i: usize) -> &[u8] {
-        debug_assert!(i < self.n);
+        debug_assert!(
+            i < self.n,
+            "code id {i} out of range: the store holds {} codes",
+            self.n
+        );
         &self.codes[i * self.m..(i + 1) * self.m]
     }
 
@@ -260,6 +264,17 @@ impl LookupTable {
 
     pub fn m(&self) -> usize {
         self.m
+    }
+
+    /// Codewords per sub-codebook (the table's row width).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The flat `m × k` table, row-major by chunk — what the batched SoA
+    /// kernels ([`crate::soa`]) and the u8 LUT quantizer read.
+    pub fn values(&self) -> &[f32] {
+        &self.table
     }
 
     pub fn memory_bytes(&self) -> usize {

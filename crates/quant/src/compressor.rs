@@ -11,6 +11,7 @@ use rpq_data::Dataset;
 use rpq_graph::DistanceEstimator;
 
 use crate::codebook::{CompactCodes, LookupTable};
+use crate::soa::SoaCodes;
 
 /// A trained vector compressor: dataset → compact codes + per-query
 /// estimated distances.
@@ -55,6 +56,22 @@ pub trait VectorCompressor: Send + Sync {
         codes: &'a CompactCodes,
         query: &'a [f32],
     ) -> Box<dyn DistanceEstimator + 'a>;
+
+    /// Builds the batched per-query estimator over chunk-major (SoA) codes
+    /// — the hot-path variant beam search drives through
+    /// [`DistanceEstimator::distance_batch`] (DESIGN.md §9). `None` (the
+    /// default) means this compressor has no table-driven batched kernel
+    /// and callers fall back to [`VectorCompressor::estimator`].
+    ///
+    /// Contract: when `Some`, every distance must be **bit-identical** to
+    /// the scalar estimator's over the equivalent AoS codes.
+    fn batch_estimator<'a>(
+        &'a self,
+        _codes: &'a SoaCodes,
+        _query: &'a [f32],
+    ) -> Option<Box<dyn DistanceEstimator + 'a>> {
+        None
+    }
 }
 
 impl<T: VectorCompressor + ?Sized> VectorCompressor for Box<T> {
@@ -89,6 +106,13 @@ impl<T: VectorCompressor + ?Sized> VectorCompressor for Box<T> {
     ) -> Box<dyn DistanceEstimator + 'a> {
         (**self).estimator(codes, query)
     }
+    fn batch_estimator<'a>(
+        &'a self,
+        codes: &'a SoaCodes,
+        query: &'a [f32],
+    ) -> Option<Box<dyn DistanceEstimator + 'a>> {
+        (**self).batch_estimator(codes, query)
+    }
 }
 
 /// The standard ADC estimator: one lookup-table build per query, then
@@ -108,6 +132,11 @@ impl<'a> AdcEstimator<'a> {
 impl DistanceEstimator for AdcEstimator<'_> {
     #[inline]
     fn distance(&self, node: u32) -> f32 {
+        debug_assert!(
+            (node as usize) < self.codes.len(),
+            "ADC estimator queried for node {node} but the code store holds {} codes",
+            self.codes.len()
+        );
         self.lut.distance(self.codes.code(node as usize))
     }
 }
@@ -143,5 +172,38 @@ impl DistanceEstimator for SdcEstimator<'_> {
     fn distance(&self, node: u32) -> f32 {
         self.table
             .distance(&self.query_code, self.codes.code(node as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook::Codebook;
+
+    fn tiny() -> (Codebook, CompactCodes) {
+        let cb = Codebook::new(2, 2, 1, vec![0.0, 10.0, 0.0, 100.0]);
+        let codes = CompactCodes::new(3, 2, vec![0, 1, 1, 0, 1, 1]);
+        (cb, codes)
+    }
+
+    /// A node id past the end of the code store must fail loudly — with the
+    /// offending id and the store's length — instead of an opaque slice
+    /// panic deep inside `CompactCodes::code`.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "but the code store holds 3 codes")]
+    fn out_of_range_node_id_names_id_and_len() {
+        let (cb, codes) = tiny();
+        let est = AdcEstimator::new(cb.lookup_table(&[1.0, 2.0]), &codes);
+        let _ = est.distance(3);
+    }
+
+    #[test]
+    fn in_range_node_ids_score() {
+        let (cb, codes) = tiny();
+        let est = AdcEstimator::new(cb.lookup_table(&[1.0, 2.0]), &codes);
+        for node in 0..3u32 {
+            assert!(est.distance(node).is_finite());
+        }
     }
 }

@@ -173,6 +173,9 @@ impl VectorCompressor for LinkAndCode {
         self.pq.decode_into(code, out);
     }
 
+    // `batch_estimator` stays at the default `None`: L&C's estimator refines
+    // reconstructions from graph neighborhoods per distance, so it has no
+    // table-driven batched kernel — search falls back to this scalar path.
     fn estimator<'a>(
         &'a self,
         codes: &'a CompactCodes,

@@ -18,7 +18,9 @@
 //!   §4),
 //! * [`compressor`] — the [`VectorCompressor`] trait the ANNS engines
 //!   consume: every quantizer (including RPQ in `rpq-core`) exposes compact
-//!   codes plus a per-query [`rpq_graph::DistanceEstimator`].
+//!   codes plus a per-query [`rpq_graph::DistanceEstimator`],
+//! * [`soa`] — chunk-major (SoA) code layout and the batched / 4-bit ADC
+//!   kernels behind the hot search loop (DESIGN.md §9).
 
 pub mod catalyst;
 pub mod codebook;
@@ -28,6 +30,7 @@ pub mod lc;
 pub mod opq;
 pub mod persist;
 pub mod pq;
+pub mod soa;
 
 pub use codebook::{Codebook, CompactCodes, LookupTable};
 pub use compressor::{AdcEstimator, SdcEstimator, VectorCompressor};
@@ -35,3 +38,6 @@ pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use opq::{OpqConfig, OptimizedProductQuantizer};
 pub use persist::{read_codebook, read_rotated_pq, write_codebook, write_rotated_pq};
 pub use pq::{PqConfig, ProductQuantizer};
+pub use soa::{
+    BatchAdcEstimator, Packed4AdcEstimator, PackedCodes4, QuantizedLut, SoaCodes, ADC_BLOCK,
+};

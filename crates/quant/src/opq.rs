@@ -154,6 +154,19 @@ impl VectorCompressor for OptimizedProductQuantizer {
     ) -> Box<dyn DistanceEstimator + 'a> {
         Box::new(AdcEstimator::new(self.lookup_table(query), codes))
     }
+
+    fn batch_estimator<'a>(
+        &'a self,
+        codes: &'a crate::soa::SoaCodes,
+        query: &'a [f32],
+    ) -> Option<Box<dyn DistanceEstimator + 'a>> {
+        // `lookup_table` rotates the query, so the SoA kernel sees the same
+        // table as the scalar path.
+        Some(Box::new(crate::soa::BatchAdcEstimator::new(
+            self.lookup_table(query),
+            codes,
+        )))
+    }
 }
 
 #[cfg(test)]

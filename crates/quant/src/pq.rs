@@ -156,6 +156,17 @@ impl VectorCompressor for ProductQuantizer {
     ) -> Box<dyn DistanceEstimator + 'a> {
         Box::new(AdcEstimator::new(self.lookup_table(query), codes))
     }
+
+    fn batch_estimator<'a>(
+        &'a self,
+        codes: &'a crate::soa::SoaCodes,
+        query: &'a [f32],
+    ) -> Option<Box<dyn DistanceEstimator + 'a>> {
+        Some(Box::new(crate::soa::BatchAdcEstimator::new(
+            self.lookup_table(query),
+            codes,
+        )))
+    }
 }
 
 /// Deterministic stride subsample of up to `cap` vectors.

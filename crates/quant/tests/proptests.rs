@@ -3,8 +3,12 @@
 
 use proptest::prelude::*;
 use rpq_data::Dataset;
+use rpq_graph::DistanceEstimator;
 use rpq_linalg::distance::sq_l2;
-use rpq_quant::{kmeans, Codebook, KMeansConfig, PqConfig, ProductQuantizer, VectorCompressor};
+use rpq_quant::{
+    kmeans, BatchAdcEstimator, Codebook, KMeansConfig, PqConfig, ProductQuantizer, SoaCodes,
+    VectorCompressor,
+};
 
 fn dataset(n: usize, dim: usize) -> impl Strategy<Value = Dataset> {
     proptest::collection::vec(-4.0f32..4.0, n * dim)
@@ -91,6 +95,48 @@ proptest! {
                 prop_assert!(da <= sq_l2(point(i), centroid(c)) + 1e-4,
                              "point {i} assigned to non-nearest centroid");
             }
+        }
+    }
+
+    /// The batched SoA kernel returns the same bits as the scalar LUT walk
+    /// for arbitrary trained quantizers and arbitrary (odd-sized,
+    /// duplicated, unordered) candidate lists — the contract every index
+    /// relies on when it routes searches through `distance_batch`.
+    #[test]
+    fn batched_adc_bit_equals_scalar(ds in dataset(45, 8),
+                                     q in proptest::collection::vec(-4.0f32..4.0, 8),
+                                     picks in proptest::collection::vec(0usize..45, 1..70)) {
+        let pq = ProductQuantizer::train(
+            &PqConfig { m: 4, k: 8, kmeans_iters: 4, ..Default::default() },
+            &ds,
+        );
+        let codes = pq.encode_dataset(&ds);
+        let soa = SoaCodes::from_compact(&codes);
+        let lut = pq.lookup_table(&q);
+        let est = BatchAdcEstimator::new(pq.lookup_table(&q), &soa);
+        let ids: Vec<u32> = picks.iter().map(|&i| i as u32).collect();
+        let mut out = vec![0.0f32; ids.len()];
+        est.distance_batch(&ids, &mut out);
+        for (&id, &got) in ids.iter().zip(&out) {
+            let expect = lut.distance(codes.code(id as usize));
+            prop_assert_eq!(got.to_bits(), expect.to_bits(),
+                            "batched {} vs scalar {} at id {}", got, expect, id);
+        }
+    }
+
+    /// SoA transposition is lossless: `from_compact` → `to_compact` is the
+    /// identity on any code store.
+    #[test]
+    fn soa_roundtrip_identity(rows in proptest::collection::vec(
+        proptest::collection::vec(0u8..=255, 5), 0..40)) {
+        let mut codes = rpq_quant::CompactCodes::new(0, 5, Vec::new());
+        for row in &rows {
+            codes.push(row);
+        }
+        let back = SoaCodes::from_compact(&codes).to_compact();
+        prop_assert_eq!(back.len(), codes.len());
+        for i in 0..codes.len() {
+            prop_assert_eq!(back.code(i), codes.code(i));
         }
     }
 

@@ -13,7 +13,7 @@ use rpq_anns::{sweep_memory, InMemoryIndex};
 use rpq_data::synth::{SynthConfig, ValueTransform};
 use rpq_data::{brute_force_knn, Dataset};
 use rpq_graph::{nn_descent, HnswConfig, NnDescentConfig, NsgConfig, SearchScratch, VamanaConfig};
-use rpq_quant::{PqConfig, ProductQuantizer};
+use rpq_quant::{PqConfig, ProductQuantizer, VectorCompressor};
 
 const THREAD_COUNTS: [usize; 2] = [1, 4];
 
@@ -139,6 +139,61 @@ fn memory_sweep_is_thread_invariant() {
             .collect::<Vec<_>>()
     });
     assert_eq!(sweep.len(), 2);
+}
+
+/// The batched SoA path (DESIGN.md §9): thread-invariant like everything
+/// else, *and* bit-identical to the scalar estimator walk — the whole
+/// reason the batched kernel is allowed on the hot path.
+#[test]
+fn batched_beam_search_is_thread_invariant_and_equals_scalar() {
+    use rpq_graph::beam_search;
+
+    let data = ci_data(540, 17);
+    let (base, queries) = data.split_at(500);
+    let graph = HnswConfig {
+        m: 8,
+        ef_construction: 40,
+        seed: 0,
+    }
+    .build(&base);
+    let pq = ProductQuantizer::train(
+        &PqConfig {
+            m: 4,
+            k: 16,
+            ..Default::default()
+        },
+        &base,
+    );
+    let index = InMemoryIndex::build(pq, &base, graph);
+
+    // Batched searches across pool widths (the index routes through
+    // `batch_estimator` for PQ): bit-identical ids and distances.
+    let batched = assert_thread_invariant("batched per-query results", || {
+        use rayon::prelude::*;
+        (0..queries.len())
+            .into_par_iter()
+            .map_init(SearchScratch::new, |scratch, qi| {
+                let (res, _) = index.search(queries.get(qi), 40, 10, scratch);
+                res.iter()
+                    .map(|n| (n.id, n.dist.to_bits()))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<Vec<_>>>()
+    });
+
+    // The same queries through the explicit scalar estimator over the same
+    // graph and codes: the batched results must match bit for bit.
+    let mut scratch = SearchScratch::new();
+    for (qi, batched_res) in batched.iter().enumerate() {
+        let q = queries.get(qi);
+        let est = index.compressor().estimator(index.codes(), q);
+        let (res, _) = beam_search(index.graph(), &est, 40, 10, &mut scratch);
+        let scalar: Vec<(u32, u32)> = res.iter().map(|n| (n.id, n.dist.to_bits())).collect();
+        assert_eq!(
+            *batched_res, scalar,
+            "query {qi}: batched top-k diverged from the scalar estimator"
+        );
+    }
 }
 
 #[test]
