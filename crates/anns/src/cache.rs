@@ -93,9 +93,28 @@ impl NodeCache {
         }
     }
 
+    /// Pins an explicit set of node blocks — the constructor behind
+    /// **trace-driven admission** (`DiskIndex::warm_cache_by_trace`): the
+    /// caller ranks nodes by observed access frequency and hands over the
+    /// winners' adjacency + vectors. Duplicate ids keep the last entry.
+    pub fn pin(entries: impl IntoIterator<Item = (u32, Vec<u32>, Vec<f32>)>) -> Self {
+        let entries: HashMap<u32, CachedNode> = entries
+            .into_iter()
+            .map(|(v, neighbors, vector)| (v, CachedNode { neighbors, vector }))
+            .collect();
+        let warm_work = entries.len();
+        Self {
+            entries,
+            warm_work,
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
     /// Nodes marked during the warm-up BFS — cached nodes plus the
     /// frontier enqueued while the cache was still filling. Bounded by
-    /// `capacity · (max_degree + 1)` regardless of graph size.
+    /// `capacity · (max_degree + 1)` regardless of graph size. For a
+    /// [`NodeCache::pin`] cache this is simply the pinned count.
     pub fn warm_work(&self) -> usize {
         self.warm_work
     }
@@ -236,6 +255,29 @@ mod tests {
         let (data, graph) = setup(30);
         let cache = NodeCache::warm(&graph, &data, 10_000);
         assert_eq!(cache.len(), graph.reachable_from_entry());
+    }
+
+    #[test]
+    fn pinned_cache_serves_exactly_the_given_entries() {
+        let (data, graph) = setup(100);
+        let ids = [3u32, 57, 90];
+        let cache = NodeCache::pin(ids.iter().map(|&v| {
+            (
+                v,
+                graph.neighbors(v).to_vec(),
+                data.get(v as usize).to_vec(),
+            )
+        }));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.warm_work(), 3);
+        for &v in &ids {
+            let (nbrs, vec) = cache.get(v).expect("pinned");
+            assert_eq!(nbrs, graph.neighbors(v));
+            assert_eq!(vec, data.get(v as usize));
+        }
+        assert!(cache.get(0).is_none(), "unpinned node must miss");
+        assert_eq!(cache.stats().hits, 3);
+        assert_eq!(cache.stats().misses, 1);
     }
 
     #[test]

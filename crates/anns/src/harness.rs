@@ -29,9 +29,18 @@ pub struct SweepPoint {
     pub qps: f32,
     /// Mean next-hop selections per query.
     pub hops: f32,
-    /// Mean modelled disk-I/O time per query, in milliseconds (0 for the
-    /// in-memory scenario).
+    /// Mean modelled disk-I/O device time per query, in milliseconds (0 for
+    /// the in-memory scenario).
     pub io_ms: f32,
+    /// Mean modelled I/O time per query **not hidden** behind compute by
+    /// the pipelined engine, in milliseconds — what QPS actually charges.
+    /// Equals `io_ms` at `io_width = 1`.
+    pub io_stall_ms: f32,
+    /// Mean coalesced I/O commands per query (0 in-memory).
+    pub coalesced_ios: f32,
+    /// Fraction of node lookups served from the RAM node cache (0 with the
+    /// cache disabled, and in-memory).
+    pub cache_hit_rate: f32,
 }
 
 /// Sweeps beam widths over an in-memory index.
@@ -95,6 +104,9 @@ pub fn sweep_memory<C: VectorCompressor>(
                 qps: queries.len() as f32 / wall,
                 hops,
                 io_ms: 0.0,
+                io_stall_ms: 0.0,
+                coalesced_ios: 0.0,
+                cache_hit_rate: 0.0,
             }
         })
         .collect()
@@ -126,8 +138,12 @@ fn sweep_workers(n_queries: usize) -> usize {
 }
 
 /// Sweeps beam widths over a hybrid (disk) index. QPS charges the modelled
-/// I/O time: `total = wall_compute + Σ io_seconds / workers`, where
-/// `workers` is the executed parallel width (see [`hybrid_qps`]).
+/// I/O **stall** time — the part of device time the pipelined engine could
+/// not hide behind compute (equal to the full device time at
+/// `io_width = 1`): `total = wall_compute + Σ io_stall_seconds / workers`,
+/// where `workers` is the executed parallel width (see [`hybrid_qps`]).
+/// Each worker reuses one [`SearchScratch`] across its queries, so the
+/// sweep makes no per-query allocations for the visited/memo state.
 pub fn sweep_disk<C: VectorCompressor>(
     index: &DiskIndex<C>,
     queries: &Dataset,
@@ -139,29 +155,35 @@ pub fn sweep_disk<C: VectorCompressor>(
     efs.iter()
         .map(|&ef| {
             let start = std::time::Instant::now();
-            let per_query: Vec<(Vec<u32>, usize, f32)> = (0..queries.len())
+            let per_query: Vec<(Vec<u32>, crate::disk::DiskSearchStats)> = (0..queries.len())
                 .into_par_iter()
-                .map(|qi| {
-                    let (res, stats) = index.search(queries.get(qi), ef, k);
-                    (
-                        res.iter().map(|n| n.id).collect(),
-                        stats.hops,
-                        stats.io_seconds,
-                    )
+                .map_init(SearchScratch::new, |scratch, qi| {
+                    let (res, stats) = index.search_with_scratch(queries.get(qi), ef, k, scratch);
+                    (res.iter().map(|n| n.id).collect(), stats)
                 })
                 .collect();
             let wall = start.elapsed().as_secs_f32().max(1e-9);
-            let io_total: f32 = per_query.iter().map(|&(_, _, io)| io).sum();
-            let results: Vec<Vec<u32>> = per_query.iter().map(|(ids, ..)| ids.clone()).collect();
-            let hops: f32 = per_query.iter().map(|&(_, h, _)| h as f32).sum::<f32>()
-                / queries.len().max(1) as f32;
-            let io_ms = io_total * 1e3 / queries.len().max(1) as f32;
+            let n = queries.len().max(1) as f32;
+            let io_total: f32 = per_query.iter().map(|(_, s)| s.io_seconds).sum();
+            let stall_total: f32 = per_query.iter().map(|(_, s)| s.io_stall_seconds).sum();
+            let coalesced: usize = per_query.iter().map(|(_, s)| s.coalesced_ios).sum();
+            let hits: usize = per_query.iter().map(|(_, s)| s.cache_hits).sum();
+            let misses: usize = per_query.iter().map(|(_, s)| s.cache_misses).sum();
+            let results: Vec<Vec<u32>> = per_query.iter().map(|(ids, _)| ids.clone()).collect();
+            let hops: f32 = per_query.iter().map(|(_, s)| s.hops as f32).sum::<f32>() / n;
             SweepPoint {
                 ef,
                 recall: gt.recall(&results),
-                qps: hybrid_qps(queries.len(), wall, io_total, workers),
+                qps: hybrid_qps(queries.len(), wall, stall_total, workers),
                 hops,
-                io_ms,
+                io_ms: io_total * 1e3 / n,
+                io_stall_ms: stall_total * 1e3 / n,
+                coalesced_ios: coalesced as f32 / n,
+                cache_hit_rate: if hits + misses == 0 {
+                    0.0
+                } else {
+                    hits as f32 / (hits + misses) as f32
+                },
             }
         })
         .collect()
@@ -288,6 +310,14 @@ mod tests {
         assert_eq!(points.len(), 2);
         for p in &points {
             assert!(p.io_ms > 0.0, "hybrid sweep must report I/O time");
+            // Serial width: nothing is hidden, so the stall is the full
+            // device time (modulo f32 summation order).
+            assert!(
+                (p.io_stall_ms - p.io_ms).abs() < 1e-3,
+                "width 1 must charge all I/O: {p:?}"
+            );
+            assert!(p.coalesced_ios > 0.0, "commands must be counted");
+            assert_eq!(p.cache_hit_rate, 0.0, "no cache configured");
         }
         // Reranked recall should be strong even at modest beams.
         assert!(points[1].recall > 0.8, "{points:?}");
@@ -368,6 +398,9 @@ mod tests {
             qps,
             hops: 0.0,
             io_ms: 0.0,
+            io_stall_ms: 0.0,
+            coalesced_ios: 0.0,
+            cache_hit_rate: 0.0,
         }
     }
 

@@ -34,6 +34,7 @@ pub mod disk;
 pub mod harness;
 pub mod memory;
 pub mod serve;
+pub mod ssd;
 pub mod stream;
 
 pub use cache::{CacheStats, NodeCache};
@@ -44,4 +45,5 @@ pub use serve::{
     BatchReport, LatencySummary, MutableShardBackend, ServeConfig, ServeEngine, Shard,
     ShardBackend, ShardQueryStats, ShardedIndex, WorkerPool,
 };
+pub use ssd::{simulate_open_load, OpenLoadReport, SsdClock, SsdModel};
 pub use stream::{ConsolidateReport, StreamingConfig, StreamingIndex};

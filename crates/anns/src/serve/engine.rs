@@ -52,13 +52,26 @@ pub struct BatchReport {
     pub wall_seconds: f32,
     /// Throughput: `queries / wall_seconds`.
     pub qps: f32,
-    /// Per-query latency percentiles for this batch.
+    /// Per-query latency percentiles for this batch. For disk shards each
+    /// sample is measured wall time **plus** the query's modelled device
+    /// wait (unhidden stall + queueing on the shared device timeline), so
+    /// tails reflect the simulated SSD, not just compute.
     pub latency: LatencySummary,
     /// Mean next-hop selections per query (summed across shards).
     pub mean_hops: f32,
-    /// Mean modelled disk time per query, milliseconds (0 when all shards
-    /// are in-memory).
+    /// Mean modelled device time per query, milliseconds (0 when all
+    /// shards are in-memory).
     pub mean_io_ms: f32,
+    /// Mean modelled unhidden-I/O stall per query, milliseconds.
+    pub mean_stall_ms: f32,
+    /// Mean modelled device-queue wait per query, milliseconds — grows
+    /// without bound once offered load passes the device's throughput.
+    pub mean_queue_ms: f32,
+    /// Mean coalesced I/O commands per query.
+    pub mean_coalesced_ios: f32,
+    /// Fraction of node lookups served from shard RAM caches (0 with
+    /// caches disabled or all-memory shards).
+    pub cache_hit_rate: f32,
 }
 
 /// A concurrent serving front-end over a [`ShardedIndex`].
@@ -139,7 +152,8 @@ impl ServeEngine {
             "{} shard search job(s) panicked",
             n_shards - partials.len()
         );
-        self.recorder.record(t0.elapsed());
+        self.recorder
+            .record_us(t0.elapsed().as_secs_f32() * 1e6 + total.modeled_wait_seconds() * 1e6);
         self.served.fetch_add(1, Ordering::Relaxed);
         (merge_top_k(&partials, k), total)
     }
@@ -184,17 +198,22 @@ impl ServeEngine {
             drop(tx);
 
             // Merge as queries complete; a query's latency is stamped when
-            // its last shard reports.
+            // its last shard reports: measured wall time plus the query's
+            // own modelled device wait (stall + queue) across its shards.
             let mut pending: Vec<usize> = vec![n_shards; wave_end - wave_start];
             let mut partials: Vec<Vec<Vec<Neighbor>>> =
                 (wave_start..wave_end).map(|_| Vec::new()).collect();
+            let mut qstats: Vec<ShardQueryStats> =
+                vec![ShardQueryStats::default(); wave_end - wave_start];
             for (qi, part, stats) in rx {
                 let w = qi - wave_start;
                 total.merge(&stats);
+                qstats[w].merge(&stats);
                 partials[w].push(part);
                 pending[w] -= 1;
                 if pending[w] == 0 {
-                    let us = submitted[w].elapsed().as_secs_f32() * 1e6;
+                    let us = submitted[w].elapsed().as_secs_f32() * 1e6
+                        + qstats[w].modeled_wait_seconds() * 1e6;
                     latencies_us.push(us);
                     self.recorder.record_us(us);
                     results[qi] = merge_top_k(&partials[w], k);
@@ -211,6 +230,8 @@ impl ServeEngine {
 
         let wall = t_batch.elapsed().as_secs_f32().max(1e-9);
         self.served.fetch_add(n_queries, Ordering::Relaxed);
+        let n = n_queries.max(1) as f32;
+        let lookups = total.cache_hits + total.cache_misses;
         let report = BatchReport {
             queries: n_queries,
             shards: n_shards,
@@ -218,8 +239,16 @@ impl ServeEngine {
             wall_seconds: wall,
             qps: n_queries as f32 / wall,
             latency: LatencySummary::from_samples(&latencies_us),
-            mean_hops: total.hops as f32 / n_queries.max(1) as f32,
-            mean_io_ms: total.io_seconds * 1e3 / n_queries.max(1) as f32,
+            mean_hops: total.hops as f32 / n,
+            mean_io_ms: total.io_seconds * 1e3 / n,
+            mean_stall_ms: total.io_stall_seconds * 1e3 / n,
+            mean_queue_ms: total.io_queue_seconds * 1e3 / n,
+            mean_coalesced_ios: total.coalesced_ios as f32 / n,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                total.cache_hits as f32 / lookups as f32
+            },
         };
         (results, report)
     }
@@ -329,6 +358,79 @@ mod tests {
         let _ = eng.search(queries.get(0), 20, 5);
         assert_eq!(eng.queries_served(), queries.len() + 1);
         assert_eq!(eng.metrics().count, queries.len() + 1);
+    }
+
+    #[test]
+    fn disk_serving_p99_saturates_on_a_slow_device() {
+        use crate::disk::DiskIndexConfig;
+        use crate::ssd::SsdModel;
+
+        let (base, queries) = setup(300, 26);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let dir = std::env::temp_dir().join("rpq-serve-saturation");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |tag: &str, ssd: SsdModel| {
+            let cfg = DiskIndexConfig {
+                ssd,
+                ..DiskIndexConfig::new(dir.join(format!("{tag}.store")))
+            };
+            let index =
+                Arc::new(ShardedIndex::build_on_disk(&pq, &base, 2, &cfg, graph_builder).unwrap());
+            ServeEngine::new(
+                index,
+                ServeConfig {
+                    workers: 4,
+                    max_batch: 32,
+                },
+            )
+        };
+        // Three devices, same traffic: sub-µs commands (never saturates at
+        // this offered load), 500 µs/sector, 5 ms/sector.
+        let fast = mk(
+            "fast",
+            SsdModel {
+                service_us: 0.5,
+                transfer_us_per_sector: 0.05,
+                channels: 8,
+            },
+        );
+        let med = mk("med", SsdModel::fixed(500.0));
+        let slow = mk("slow", SsdModel::fixed(5000.0));
+        let (_, rf) = fast.serve_batch(&queries, 40, 5);
+        let (_, rm) = med.serve_batch(&queries, 40, 5);
+        let (_, rs) = slow.serve_batch(&queries, 40, 5);
+
+        // Latency tails are dominated by the modelled device, so the
+        // ordering is strict and by wide margins wall noise cannot bridge:
+        // tens of modelled ms per query on `slow` vs sub-ms on `fast`.
+        assert!(
+            rm.latency.p99_us > rf.latency.p99_us,
+            "p99 must grow with device cost: {} vs {}",
+            rm.latency.p99_us,
+            rf.latency.p99_us
+        );
+        assert!(
+            rs.latency.p99_us > rm.latency.p99_us * 2.0,
+            "a 10x slower device must blow out the tail: {} vs {}",
+            rs.latency.p99_us,
+            rm.latency.p99_us
+        );
+        // The slow device cannot drain the offered load: queries queue
+        // behind each other's commands on the shared timeline. The fast
+        // device absorbs the same load with (almost) no queueing.
+        assert!(rs.mean_queue_ms > 0.0, "overload must queue");
+        assert!(rs.mean_stall_ms > 0.0);
+        assert!(
+            rs.mean_queue_ms > rf.mean_queue_ms,
+            "queueing must grow with load relative to device throughput"
+        );
     }
 
     #[test]

@@ -42,10 +42,21 @@ pub struct ShardQueryStats {
     pub hops: usize,
     /// Distance-estimator invocations.
     pub dist_comps: usize,
-    /// Sector reads issued (0 for in-memory shards).
+    /// Raw sector reads issued (0 for in-memory shards).
     pub io_reads: usize,
-    /// Modelled I/O seconds (0 for in-memory shards).
+    /// Modelled I/O commands after coalescing (0 for in-memory shards).
+    pub coalesced_ios: usize,
+    /// Node lookups served from the shard's RAM node cache.
+    pub cache_hits: usize,
+    /// Node lookups that went to the shard's store.
+    pub cache_misses: usize,
+    /// Modelled device seconds (0 for in-memory shards).
     pub io_seconds: f32,
+    /// Modelled I/O seconds not hidden behind compute by the pipelined
+    /// disk engine (== `io_seconds` at `io_width = 1`).
+    pub io_stall_seconds: f32,
+    /// Queue wait on the shared device timeline under concurrent serving.
+    pub io_queue_seconds: f32,
 }
 
 impl ShardQueryStats {
@@ -54,7 +65,18 @@ impl ShardQueryStats {
         self.hops += other.hops;
         self.dist_comps += other.dist_comps;
         self.io_reads += other.io_reads;
+        self.coalesced_ios += other.coalesced_ios;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
         self.io_seconds += other.io_seconds;
+        self.io_stall_seconds += other.io_stall_seconds;
+        self.io_queue_seconds += other.io_queue_seconds;
+    }
+
+    /// Modelled seconds a query actually waits on the device: unhidden
+    /// service time plus queueing behind other queries' commands.
+    pub fn modeled_wait_seconds(&self) -> f32 {
+        self.io_stall_seconds + self.io_queue_seconds
     }
 }
 
@@ -62,8 +84,9 @@ impl ShardQueryStats {
 /// its local id space. Implemented by both deployment scenarios' indexes
 /// so a [`ShardedIndex`] can mix them.
 pub trait ShardBackend: Send + Sync {
-    /// Top-`k` under beam width `ef`, ids local to this shard. In-memory
-    /// backends route with `scratch`; disk backends ignore it.
+    /// Top-`k` under beam width `ef`, ids local to this shard. Both
+    /// scenarios route with `scratch` (visited epochs, staging buffers and
+    /// the disk engine's exact-distance memo all live there).
     fn search_local(
         &self,
         query: &[f32],
@@ -193,16 +216,21 @@ impl<C: VectorCompressor> ShardBackend for DiskIndex<C> {
         query: &[f32],
         ef: usize,
         k: usize,
-        _scratch: &mut SearchScratch,
+        scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, ShardQueryStats) {
-        let (res, stats) = self.search(query, ef, k);
+        let (res, stats) = self.search_with_scratch(query, ef, k, scratch);
         (
             res,
             ShardQueryStats {
                 hops: stats.hops,
                 dist_comps: stats.dist_comps,
                 io_reads: stats.io_reads,
+                coalesced_ios: stats.coalesced_ios,
+                cache_hits: stats.cache_hits,
+                cache_misses: stats.cache_misses,
                 io_seconds: stats.io_seconds,
+                io_stall_seconds: stats.io_stall_seconds,
+                io_queue_seconds: stats.io_queue_seconds,
             },
         )
     }
@@ -423,7 +451,10 @@ impl ShardedIndex {
 
     /// Partitions `data` round-robin into `n_shards` hybrid (disk) shards.
     /// Each shard's store file is `cfg.path` with `.shard<i>` appended.
-    /// Panics if `n_shards` exceeds the dataset size.
+    /// All shards share **one** [`crate::ssd::SsdClock`] — they model one
+    /// physical device, so concurrent queries contend for its timeline and
+    /// serve-level p99 shows saturation when offered load exceeds the
+    /// modelled throughput. Panics if `n_shards` exceeds the dataset size.
     pub fn build_on_disk<C>(
         compressor: &C,
         data: &Dataset,
@@ -435,6 +466,7 @@ impl ShardedIndex {
         C: VectorCompressor + Clone + 'static,
     {
         assert_shardable(data.len(), n_shards);
+        let clock = std::sync::Arc::new(crate::ssd::SsdClock::new());
         let mut shards = Vec::new();
         for (i, ids) in partition_round_robin(data.len(), n_shards)
             .into_iter()
@@ -447,7 +479,8 @@ impl ShardedIndex {
             let mut os = shard_cfg.path.into_os_string();
             os.push(format!(".shard{i}"));
             shard_cfg.path = os.into();
-            let index = DiskIndex::build(compressor.clone(), &part, &graph, shard_cfg)?;
+            let mut index = DiskIndex::build(compressor.clone(), &part, &graph, shard_cfg)?;
+            index.attach_clock(std::sync::Arc::clone(&clock));
             shards.push(Shard::new(Box::new(index), ids));
         }
         Ok(Self::from_shards(shards, data.dim()))

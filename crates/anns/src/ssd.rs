@@ -1,0 +1,396 @@
+//! Queue-depth-aware simulated SSD (DESIGN.md §10).
+//!
+//! The hybrid scenario models its device instead of requiring a datacenter
+//! SSD (DESIGN.md §4.2). PR 3's model was a constant per-sector latency,
+//! which cannot express the two effects that dominate real NVMe behaviour:
+//! command overhead amortised by coalescing adjacent sectors, and queue
+//! wait growing with outstanding depth until the device saturates.
+//! [`SsdModel`] captures both with three parameters:
+//!
+//! * `service_us` — fixed per-command cost (submission, FTL lookup, NAND
+//!   access setup). Paid once per I/O regardless of size, which is what
+//!   makes coalescing `r` adjacent blocks into one command cheaper than
+//!   `r` commands.
+//! * `transfer_us_per_sector` — payload cost, linear in sectors.
+//! * `channels` — internal parallelism `c`: how many commands the device
+//!   services concurrently. Queue depth beyond `c` waits.
+//!
+//! Service time of one I/O of `b` sectors: `s(b) = service_us +
+//! b · transfer_us_per_sector`. Per-I/O latency with `qd` outstanding
+//! commands uses an M/D/c-style linear interference term,
+//! `s · (1 + (qd − 1) / c)` — exactly `s` at `qd = 1` (the legacy fixed
+//! model), degrading linearly once depth exceeds the device's parallelism.
+//! A batch issued together completes in `max(maxᵢ sᵢ, Σ sᵢ / min(qd, c))`:
+//! bounded below by its largest member and by total work over effective
+//! parallelism.
+//!
+//! [`SsdModel::fixed`] reproduces the old constant-latency model bit for
+//! bit (zero service cost, one channel), so legacy configurations and the
+//! pinned accounting tests are unchanged. [`simulate_open_load`] is a
+//! deterministic open-loop event simulation over the model — arrivals at a
+//! fixed rate, `c` servers — used to show tail-latency saturation without
+//! depending on wall-clock noise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Parameters of the simulated device. See the module docs for the model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SsdModel {
+    /// Fixed per-command cost in microseconds.
+    pub service_us: f32,
+    /// Payload cost per sector in microseconds.
+    pub transfer_us_per_sector: f32,
+    /// Commands serviced concurrently (internal parallelism `c`).
+    pub channels: usize,
+}
+
+impl SsdModel {
+    /// The legacy fixed-latency model: every sector costs
+    /// `per_sector_latency_us`, no command overhead, no parallelism. An
+    /// I/O of `b` sectors takes `b · per_sector_latency_us` at any queue
+    /// depth of 1, matching the pre-queueing model exactly.
+    pub fn fixed(per_sector_latency_us: f32) -> Self {
+        Self {
+            service_us: 0.0,
+            transfer_us_per_sector: per_sector_latency_us,
+            channels: 1,
+        }
+    }
+
+    /// An NVMe-class device: 80 µs command overhead, 8 µs per 4 KiB
+    /// sector, 8 concurrent channels. The `diskio` experiment's default —
+    /// command overhead dominates single-sector reads, so coalescing and
+    /// depth both pay off visibly.
+    pub fn nvme() -> Self {
+        Self {
+            service_us: 80.0,
+            transfer_us_per_sector: 8.0,
+            channels: 8,
+        }
+    }
+
+    /// Service time of one I/O of `sectors` sectors, µs (no queueing).
+    pub fn service_time_us(&self, sectors: usize) -> f32 {
+        self.service_us + sectors as f32 * self.transfer_us_per_sector
+    }
+
+    /// Latency of one I/O when `qd` commands are outstanding:
+    /// `s · (1 + (qd − 1) / c)`. Equals [`SsdModel::service_time_us`] at
+    /// `qd = 1` and grows monotonically with depth.
+    pub fn io_latency_us(&self, sectors: usize, qd: usize) -> f32 {
+        let s = self.service_time_us(sectors);
+        let c = self.channels.max(1) as f32;
+        s * (1.0 + (qd.max(1) - 1) as f32 / c)
+    }
+
+    /// Completion time of a batch of I/Os issued together at queue depth
+    /// `qd`: `max(maxᵢ sᵢ, Σ sᵢ / p)` with effective parallelism
+    /// `p = min(qd, channels, batch size)`. At `qd = 1` this is the serial
+    /// sum — the legacy model's bill for the same reads.
+    pub fn batch_us<I: IntoIterator<Item = usize>>(&self, sector_counts: I, qd: usize) -> f32 {
+        let mut work = 0.0f32;
+        let mut smax = 0.0f32;
+        let mut count = 0usize;
+        for sectors in sector_counts {
+            let s = self.service_time_us(sectors);
+            work += s;
+            smax = smax.max(s);
+            count += 1;
+        }
+        if count == 0 {
+            return 0.0;
+        }
+        let p = qd.max(1).min(self.channels.max(1)).min(count) as f32;
+        smax.max(work / p)
+    }
+
+    /// Sustained throughput ceiling in I/Os per second at `sectors`
+    /// sectors each: `c / s`.
+    pub fn max_iops(&self, sectors: usize) -> f32 {
+        self.channels.max(1) as f32 * 1e6 / self.service_time_us(sectors).max(1e-9)
+    }
+
+    /// Closed-form mean queue wait (µs) at an offered load of
+    /// `offered_iops` I/Os per second of `sectors` sectors each —
+    /// Sakasegawa's M/M/c approximation halved for deterministic service
+    /// (M/D/c). Exact for `c = 1` (Pollaczek–Khinchine:
+    /// `ρ·s / (2(1 − ρ))`), infinite at or past saturation.
+    pub fn mean_wait_us(&self, offered_iops: f32, sectors: usize) -> f32 {
+        let s = self.service_time_us(sectors);
+        let c = self.channels.max(1) as f32;
+        let rho = offered_iops * s / (c * 1e6);
+        if rho >= 1.0 {
+            return f32::INFINITY;
+        }
+        if rho <= 0.0 {
+            return 0.0;
+        }
+        let exponent = (2.0 * (c + 1.0)).sqrt() - 1.0;
+        0.5 * (s / c) * rho.powf(exponent) / (1.0 - rho)
+    }
+}
+
+/// Latency distribution of a [`simulate_open_load`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpenLoadReport {
+    /// Mean end-to-end latency (queue wait + service), µs.
+    pub mean_us: f32,
+    /// Median latency, µs.
+    pub p50_us: f32,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f32,
+    /// Fraction of channel-time busy over the simulated horizon.
+    pub utilization: f32,
+}
+
+/// Deterministic open-loop simulation: requests with the given per-request
+/// device occupancies (µs each, e.g. one query's [`SsdModel::batch_us`]
+/// total) arrive at a fixed `qps`, and the model's `channels` serve them
+/// FIFO. Latency of request `i` is completion minus arrival. No clock and
+/// no randomness — the saturation tests stay exact on any machine.
+pub fn simulate_open_load(model: &SsdModel, per_request_us: &[f32], qps: f32) -> OpenLoadReport {
+    if per_request_us.is_empty() || qps <= 0.0 {
+        return OpenLoadReport::default();
+    }
+    let c = model.channels.max(1);
+    let gap_us = 1e6 / qps;
+    let mut next_free = vec![0.0f64; c];
+    let mut latencies: Vec<f64> = Vec::with_capacity(per_request_us.len());
+    let mut busy = 0.0f64;
+    let mut horizon = 0.0f64;
+    for (i, &s) in per_request_us.iter().enumerate() {
+        let arrival = i as f64 * gap_us as f64;
+        // FIFO onto the earliest-free channel.
+        let (slot, _) = next_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("channels >= 1");
+        let start = next_free[slot].max(arrival);
+        let done = start + s as f64;
+        next_free[slot] = done;
+        latencies.push(done - arrival);
+        busy += s as f64;
+        horizon = horizon.max(done);
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f32 {
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx] as f32
+    };
+    OpenLoadReport {
+        mean_us: (latencies.iter().sum::<f64>() / latencies.len() as f64) as f32,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        utilization: (busy / (c as f64 * horizon.max(1e-9))) as f32,
+    }
+}
+
+/// A shared virtual device timeline for concurrent serving: every disk
+/// shard of a [`crate::serve::ShardedIndex`] reserves its batch occupancy
+/// on one clock, so queries arriving while the device is busy observe
+/// queue wait — the mechanism behind p99 saturation under offered load
+/// beyond [`SsdModel::max_iops`].
+///
+/// The timeline is a single busy-until horizon advanced by CAS: a
+/// reservation of `device_us` starts at `max(now, busy_until)` and the
+/// returned wait is `start − now`. Arrival times come from a real
+/// monotonic clock (concurrency decides interleaving), but the *cost*
+/// added per reservation is fully modeled.
+pub struct SsdClock {
+    epoch: Instant,
+    /// Busy-until horizon in nanoseconds since `epoch`.
+    busy_until_ns: AtomicU64,
+}
+
+impl Default for SsdClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SsdClock {
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            busy_until_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserves `device_us` of device occupancy starting no earlier than
+    /// now; returns the queue wait in µs (0 when the device is idle).
+    pub fn reserve(&self, device_us: f32) -> f32 {
+        let now_ns = self.epoch.elapsed().as_nanos() as u64;
+        let add_ns = (device_us.max(0.0) * 1e3) as u64;
+        let mut busy = self.busy_until_ns.load(Ordering::Relaxed);
+        loop {
+            let start = busy.max(now_ns);
+            match self.busy_until_ns.compare_exchange_weak(
+                busy,
+                start + add_ns,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return (start - now_ns) as f32 / 1e3,
+                Err(actual) => busy = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_model_matches_legacy_per_sector_accounting() {
+        // QD=1 closed form: no queue wait, and an I/O of b sectors costs
+        // exactly b × latency — the pre-queueing model.
+        let m = SsdModel::fixed(100.0);
+        for sectors in [1usize, 2, 7] {
+            assert_eq!(m.io_latency_us(sectors, 1), sectors as f32 * 100.0);
+            assert_eq!(m.service_time_us(sectors), sectors as f32 * 100.0);
+        }
+        // A batch at QD=1 serialises: the sum of its members, i.e. the
+        // legacy bill of `total sectors × latency`.
+        let batch = m.batch_us([1usize, 1, 3], 1);
+        assert_eq!(batch, 5.0 * 100.0);
+        assert_eq!(m.mean_wait_us(0.0, 1), 0.0);
+    }
+
+    #[test]
+    fn per_io_latency_is_monotone_in_queue_depth() {
+        let m = SsdModel::nvme();
+        let mut prev = 0.0;
+        for qd in 1..=32 {
+            let lat = m.io_latency_us(1, qd);
+            assert!(
+                lat >= prev,
+                "latency must not drop with depth: qd={qd} {lat} < {prev}"
+            );
+            prev = lat;
+        }
+        // And strictly grows once depth exceeds a single command.
+        assert!(m.io_latency_us(1, 16) > m.io_latency_us(1, 1));
+    }
+
+    #[test]
+    fn batch_completion_shrinks_with_depth_until_channels_bind() {
+        let m = SsdModel::nvme();
+        let reads = [1usize; 16];
+        let serial = m.batch_us(reads, 1);
+        let qd4 = m.batch_us(reads, 4);
+        let qd8 = m.batch_us(reads, 8);
+        let qd32 = m.batch_us(reads, 32);
+        assert!(qd4 < serial, "{qd4} vs {serial}");
+        assert!(qd8 < qd4);
+        // Depth beyond the device's channels buys nothing.
+        assert_eq!(qd32, qd8);
+        // Never below the slowest member.
+        assert!(qd8 >= m.service_time_us(1));
+    }
+
+    #[test]
+    fn coalescing_beats_separate_commands() {
+        // One 4-sector command vs four 1-sector commands: the fixed
+        // per-command cost is paid once instead of four times.
+        let m = SsdModel::nvme();
+        let one = m.batch_us([4usize], 1);
+        let four = m.batch_us([1usize; 4], 1);
+        assert!(one < four, "{one} vs {four}");
+        assert_eq!(four - one, 3.0 * m.service_us);
+    }
+
+    #[test]
+    fn mean_wait_is_monotone_and_diverges_at_saturation() {
+        let m = SsdModel::nvme();
+        let cap = m.max_iops(1);
+        let mut prev = 0.0;
+        for frac in [0.1f32, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let w = m.mean_wait_us(cap * frac, 1);
+            assert!(w.is_finite());
+            assert!(w >= prev, "wait must grow with load: {w} < {prev}");
+            prev = w;
+        }
+        assert!(prev > 0.0);
+        assert_eq!(m.mean_wait_us(cap, 1), f32::INFINITY);
+        assert_eq!(m.mean_wait_us(cap * 1.5, 1), f32::INFINITY);
+    }
+
+    #[test]
+    fn mean_wait_single_channel_matches_pollaczek_khinchine() {
+        // c = 1, deterministic service: Wq = ρ·s / (2(1 − ρ)) exactly.
+        let m = SsdModel {
+            service_us: 0.0,
+            transfer_us_per_sector: 100.0,
+            channels: 1,
+        };
+        let s = m.service_time_us(1); // 100 µs → capacity 10k IOPS
+        for rho in [0.2f32, 0.5, 0.8] {
+            let offered = rho * 1e6 / s;
+            let want = rho * s / (2.0 * (1.0 - rho));
+            let got = m.mean_wait_us(offered, 1);
+            assert!(
+                (got - want).abs() < 1e-2,
+                "rho={rho}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn open_load_p99_grows_past_saturation() {
+        // With deterministic arrivals and service there is no queueing
+        // below capacity (D/D/c): p99 sits at the bare service time. Once
+        // the arrival rate exceeds max_iops the queue grows without bound
+        // and p99 must grow strictly with every extra bit of load.
+        let m = SsdModel::nvme();
+        let per_request = vec![m.service_time_us(1); 4000];
+        let cap_qps = m.max_iops(1);
+        for frac in [0.5f32, 0.9] {
+            let rep = simulate_open_load(&m, &per_request, cap_qps * frac);
+            assert_eq!(rep.p99_us, m.service_time_us(1), "waitless below cap");
+        }
+        let mut prev = m.service_time_us(1);
+        for frac in [1.1f32, 1.3, 1.5] {
+            let rep = simulate_open_load(&m, &per_request, cap_qps * frac);
+            assert!(
+                rep.p99_us > prev,
+                "p99 must grow past saturation: {} at {frac}x <= {prev}",
+                rep.p99_us
+            );
+            assert!(rep.p50_us <= rep.p99_us);
+            prev = rep.p99_us;
+        }
+        // Past saturation the queue is unbounded: p99 is dominated by
+        // wait, far above the bare service time.
+        assert!(prev > 50.0 * m.service_time_us(1));
+        // Under-load sanity: almost no waiting.
+        let light = simulate_open_load(&m, &per_request, cap_qps * 0.1);
+        assert!(light.p99_us < 2.0 * m.service_time_us(1));
+        assert!(light.utilization < 0.5);
+    }
+
+    #[test]
+    fn open_load_handles_empty_and_zero_rate() {
+        let m = SsdModel::nvme();
+        let rep = simulate_open_load(&m, &[], 1000.0);
+        assert_eq!(rep.p99_us, 0.0);
+        let rep = simulate_open_load(&m, &[100.0], 0.0);
+        assert_eq!(rep.p99_us, 0.0);
+    }
+
+    #[test]
+    fn clock_reserves_serialise_and_report_wait() {
+        let clock = SsdClock::new();
+        // First reservation on an idle device: no wait.
+        let w0 = clock.reserve(50_000.0);
+        assert_eq!(w0, 0.0);
+        // Immediately following reservations queue behind it; each waits
+        // at least the remaining occupancy of the previous ones.
+        let w1 = clock.reserve(50_000.0);
+        assert!(w1 > 40_000.0, "second reservation must queue: {w1}");
+        let w2 = clock.reserve(0.0);
+        assert!(w2 > w1, "horizon keeps advancing: {w2} vs {w1}");
+    }
+}

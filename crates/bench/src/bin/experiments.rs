@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use rpq_bench::experiments::{
-    ablation, artifacts, curves, hotpath, sensitivity, serve, streaming, threads,
+    ablation, artifacts, curves, diskio, hotpath, sensitivity, serve, streaming, threads,
 };
 use rpq_bench::Scale;
 
@@ -35,6 +35,7 @@ const ALL: &[&str] = &[
     "streaming",
     "threads",
     "hotpath",
+    "diskio",
 ];
 
 fn main() {
@@ -92,6 +93,7 @@ fn main() {
             "streaming" => streaming::streaming(&scale).print(),
             "threads" => threads::threads(&scale).print(),
             "hotpath" => hotpath::hotpath(&scale).print(),
+            "diskio" => diskio::diskio(&scale).print(),
             _ => unreachable!(),
         }
         eprintln!("[{id}] done in {:.1}s", start.elapsed().as_secs_f32());

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod artifacts;
 pub mod curves;
+pub mod diskio;
 pub mod hotpath;
 pub mod sensitivity;
 pub mod serve;
@@ -28,6 +29,12 @@ pub struct PointJson {
     pub qps: f32,
     pub hops: f32,
     pub io_ms: f32,
+    /// Unhidden (QPS-charged) modelled I/O per query, ms.
+    pub io_stall_ms: f32,
+    /// Coalesced I/O commands per query.
+    pub coalesced_ios: f32,
+    /// Fraction of node lookups served from the RAM node cache.
+    pub cache_hit_rate: f32,
 }
 
 impl From<SweepPoint> for PointJson {
@@ -38,6 +45,9 @@ impl From<SweepPoint> for PointJson {
             qps: p.qps,
             hops: p.hops,
             io_ms: p.io_ms,
+            io_stall_ms: p.io_stall_ms,
+            coalesced_ios: p.coalesced_ios,
+            cache_hit_rate: p.cache_hit_rate,
         }
     }
 }

@@ -35,6 +35,10 @@ pub struct ServePoint {
     pub p95_us: f32,
     pub p99_us: f32,
     pub mean_hops: f32,
+    /// Coalesced I/O commands per query (0 for in-memory shards).
+    pub mean_coalesced_ios: f32,
+    /// Fraction of node lookups served from shard RAM caches.
+    pub cache_hit_rate: f32,
 }
 
 /// Beam widths exercised per shard count: the sweep's low / mid / high
@@ -124,6 +128,8 @@ pub fn serve(scale: &Scale) -> Report {
                 p95_us: batch.latency.p95_us,
                 p99_us: batch.latency.p99_us,
                 mean_hops: batch.mean_hops,
+                mean_coalesced_ios: batch.mean_coalesced_ios,
+                cache_hit_rate: batch.cache_hit_rate,
             };
             report.push_row(vec![
                 point.shards.to_string(),

@@ -7,6 +7,9 @@
 //! * routing-feature extraction (the [`beam_search_recording`] variant
 //!   mirrors paper Alg. 2 and captures each ranked candidate set `bᵢ`).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use rpq_data::Dataset;
 use rpq_linalg::distance::sq_l2;
 
@@ -107,6 +110,14 @@ pub struct SearchScratch {
     frontier: Vec<u32>,
     /// Their batch-scored distances (parallel to `frontier`).
     dists: Vec<f32>,
+    /// Reusable pipeline-stage buffer for [`SearchScratch::pop_frontier_batch`].
+    stage: Vec<(f32, u32)>,
+    /// Flat per-vertex f32 slot map with the same epoch-reset discipline as
+    /// `visited` — external engines memoise exact distances here instead of
+    /// in a per-query `HashMap`.
+    memo_vals: Vec<f32>,
+    memo_marked: Vec<bool>,
+    memo_touched: Vec<u32>,
 }
 
 impl SearchScratch {
@@ -124,6 +135,10 @@ impl SearchScratch {
             touched: Vec::with_capacity(256),
             frontier: Vec::with_capacity(64),
             dists: Vec::with_capacity(64),
+            stage: Vec::new(),
+            memo_vals: Vec::new(),
+            memo_marked: Vec::new(),
+            memo_touched: Vec::new(),
         }
     }
 
@@ -134,6 +149,10 @@ impl SearchScratch {
             + self.touched.capacity() * std::mem::size_of::<u32>()
             + self.frontier.capacity() * std::mem::size_of::<u32>()
             + self.dists.capacity() * std::mem::size_of::<f32>()
+            + self.stage.capacity() * std::mem::size_of::<(f32, u32)>()
+            + self.memo_vals.capacity() * std::mem::size_of::<f32>()
+            + self.memo_marked.capacity() * std::mem::size_of::<bool>()
+            + self.memo_touched.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Forgets all visited marks without releasing memory. `beam_search`
@@ -154,6 +173,12 @@ impl SearchScratch {
             }
         }
         self.touched.clear();
+        for &t in &self.memo_touched {
+            if let Some(slot) = self.memo_marked.get_mut(t as usize) {
+                *slot = false;
+            }
+        }
+        self.memo_touched.clear();
     }
 
     /// Shrinks the visited map to `n` slots and releases the excess — what a
@@ -165,6 +190,11 @@ impl SearchScratch {
         self.visited.truncate(n);
         self.visited.shrink_to_fit();
         self.touched.retain(|&t| (t as usize) < n);
+        self.memo_vals.truncate(n);
+        self.memo_vals.shrink_to_fit();
+        self.memo_marked.truncate(n);
+        self.memo_marked.shrink_to_fit();
+        self.memo_touched.retain(|&t| (t as usize) < n);
     }
 
     fn prepare(&mut self, n: usize) {
@@ -191,6 +221,146 @@ impl SearchScratch {
             self.touched.push(v);
             true
         }
+    }
+
+    /// Prepares the scratch for an externally-driven search over `n`
+    /// vertices: visited marks and the exact-distance memo are sized and
+    /// cleared. [`beam_search`] does this internally; engines that drive
+    /// their own traversal (the disk engine's pipelined beam) call this
+    /// once per query, then [`SearchScratch::visit`] /
+    /// [`SearchScratch::memo_insert`] during it.
+    pub fn begin(&mut self, n: usize) {
+        self.prepare(n);
+        if self.memo_vals.len() < n {
+            self.memo_vals.resize(n, 0.0);
+            self.memo_marked.resize(n, false);
+        }
+    }
+
+    /// Marks `v` visited; `true` when it was unvisited (first sight). The
+    /// public face of the epoch-reset visited map for external engines;
+    /// valid between [`SearchScratch::begin`] and the next reset.
+    #[inline]
+    pub fn visit(&mut self, v: u32) -> bool {
+        self.mark(v)
+    }
+
+    /// Memoises a per-vertex f32 (the disk engine's exact distances) in the
+    /// flat slot map. Overwrites any value from the same epoch.
+    #[inline]
+    pub fn memo_insert(&mut self, v: u32, val: f32) {
+        let i = v as usize;
+        if !self.memo_marked[i] {
+            self.memo_marked[i] = true;
+            self.memo_touched.push(v);
+        }
+        self.memo_vals[i] = val;
+    }
+
+    /// The value memoised for `v` this epoch, if any.
+    #[inline]
+    pub fn memo_get(&self, v: u32) -> Option<f32> {
+        let i = v as usize;
+        if i < self.memo_marked.len() && self.memo_marked[i] {
+            Some(self.memo_vals[i])
+        } else {
+            None
+        }
+    }
+
+    /// Pops up to `width` candidates off `frontier` into a reusable stage
+    /// buffer, stopping early at the first candidate whose distance
+    /// exceeds `bound` (the serial termination test, applied per pop — at
+    /// `width = 1` this is exactly one iteration of the serial loop).
+    /// An empty result means the search is done: the bound can only
+    /// tighten, so a candidate rejected now stays rejected. Return the
+    /// buffer with [`SearchScratch::recycle_stage`] after processing.
+    pub fn pop_frontier_batch(
+        &mut self,
+        frontier: &mut Frontier,
+        width: usize,
+        bound: f32,
+    ) -> Vec<(f32, u32)> {
+        let mut stage = std::mem::take(&mut self.stage);
+        stage.clear();
+        while stage.len() < width.max(1) {
+            match frontier.peek() {
+                Some((d, _)) if d.partial_cmp(&bound) == Some(std::cmp::Ordering::Greater) => break,
+                Some(_) => stage.push(frontier.pop().expect("peeked")),
+                None => break,
+            }
+        }
+        stage
+    }
+
+    /// Hands a drained stage buffer back for reuse by the next
+    /// [`SearchScratch::pop_frontier_batch`].
+    pub fn recycle_stage(&mut self, stage: Vec<(f32, u32)>) {
+        self.stage = stage;
+    }
+
+    /// Takes the neighbor-gather buffers (ids, distances) for an external
+    /// engine's expansion loop; return them with
+    /// [`SearchScratch::put_gather`]. The same buffers [`beam_search`]
+    /// reuses internally, so a scratch shared across backends keeps one
+    /// allocation.
+    pub fn take_gather(&mut self) -> (Vec<u32>, Vec<f32>) {
+        (
+            std::mem::take(&mut self.frontier),
+            std::mem::take(&mut self.dists),
+        )
+    }
+
+    /// Returns buffers taken by [`SearchScratch::take_gather`].
+    pub fn put_gather(&mut self, ids: Vec<u32>, dists: Vec<f32>) {
+        self.frontier = ids;
+        self.dists = dists;
+    }
+}
+
+/// A min-heap of `(estimated distance, vertex)` candidates with the same
+/// deterministic `(distance, id)` ordering as [`beam_search`]'s internal
+/// candidate heap — for engines that drive their own traversal and want
+/// batched pops ([`SearchScratch::pop_frontier_batch`]), e.g. the disk
+/// engine's pipelined beam (DiskANN's beam width `W`).
+#[derive(Default)]
+pub struct Frontier {
+    heap: BinaryHeap<Reverse<Scored>>,
+}
+
+impl Frontier {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a scored vertex.
+    #[inline]
+    pub fn push(&mut self, dist: f32, id: u32) {
+        self.heap.push(Reverse(Scored(dist, id)));
+    }
+
+    /// Removes and returns the closest candidate.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(f32, u32)> {
+        self.heap.pop().map(|Reverse(Scored(d, v))| (d, v))
+    }
+
+    /// The closest candidate without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<(f32, u32)> {
+        self.heap.peek().map(|Reverse(Scored(d, v))| (*d, *v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.heap.clear();
     }
 }
 
@@ -241,9 +411,6 @@ pub fn beam_search_filtered<G: GraphView>(
     scratch: &mut SearchScratch,
     accept: impl Fn(u32) -> bool,
 ) -> (Vec<Neighbor>, SearchStats) {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-
     let ef = ef.max(k).max(1);
     let mut stats = SearchStats::default();
     if graph.is_empty() {
@@ -612,6 +779,81 @@ mod tests {
         let mut scratch = SearchScratch::new();
         let (res, _) = beam_search(&g, &est, 4, 1, &mut scratch);
         assert_eq!(res[0].id, 1, "search cannot leave the entry component");
+    }
+
+    #[test]
+    fn frontier_pops_in_distance_then_id_order() {
+        let mut f = Frontier::new();
+        f.push(2.0, 7);
+        f.push(1.0, 9);
+        f.push(1.0, 3);
+        f.push(0.5, 1);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.peek(), Some((0.5, 1)));
+        assert_eq!(f.pop(), Some((0.5, 1)));
+        // Ties break ascending by id, matching beam_search's heap.
+        assert_eq!(f.pop(), Some((1.0, 3)));
+        assert_eq!(f.pop(), Some((1.0, 9)));
+        assert_eq!(f.pop(), Some((2.0, 7)));
+        assert!(f.pop().is_none() && f.is_empty());
+    }
+
+    #[test]
+    fn pop_frontier_batch_respects_width_and_bound() {
+        let mut scratch = SearchScratch::new();
+        let mut f = Frontier::new();
+        for (d, v) in [(0.1f32, 1u32), (0.2, 2), (0.3, 3), (5.0, 4)] {
+            f.push(d, v);
+        }
+        // Width caps the batch.
+        let stage = scratch.pop_frontier_batch(&mut f, 2, f32::INFINITY);
+        assert_eq!(stage, vec![(0.1, 1), (0.2, 2)]);
+        scratch.recycle_stage(stage);
+        // The bound stops mid-batch and leaves the rejected candidate in
+        // place.
+        let stage = scratch.pop_frontier_batch(&mut f, 8, 1.0);
+        assert_eq!(stage, vec![(0.3, 3)]);
+        assert_eq!(f.len(), 1);
+        scratch.recycle_stage(stage);
+        // A tighter bound yields an empty stage — the terminate signal.
+        let stage = scratch.pop_frontier_batch(&mut f, 8, 1.0);
+        assert!(stage.is_empty());
+        scratch.recycle_stage(stage);
+        assert_eq!(f.pop(), Some((5.0, 4)));
+    }
+
+    #[test]
+    fn memo_slot_map_is_epoch_reset() {
+        let mut scratch = SearchScratch::new();
+        scratch.begin(10);
+        assert_eq!(scratch.memo_get(3), None);
+        scratch.memo_insert(3, 1.5);
+        scratch.memo_insert(7, 2.5);
+        scratch.memo_insert(3, 9.5); // overwrite within the epoch
+        assert_eq!(scratch.memo_get(3), Some(9.5));
+        assert_eq!(scratch.memo_get(7), Some(2.5));
+        assert_eq!(scratch.memo_get(4), None);
+        // A new epoch forgets everything without reallocating.
+        scratch.begin(10);
+        assert_eq!(scratch.memo_get(3), None);
+        assert_eq!(scratch.memo_get(7), None);
+        // Shrinking below memoised ids then resetting must not panic.
+        scratch.memo_insert(9, 4.0);
+        scratch.shrink_to(5);
+        scratch.reset();
+        scratch.begin(10);
+        assert_eq!(scratch.memo_get(9), None);
+    }
+
+    #[test]
+    fn visit_matches_private_mark_semantics() {
+        let mut scratch = SearchScratch::new();
+        scratch.begin(5);
+        assert!(scratch.visit(2));
+        assert!(!scratch.visit(2));
+        assert!(scratch.visit(4));
+        scratch.begin(5);
+        assert!(scratch.visit(2), "begin must reset visited marks");
     }
 
     #[test]

@@ -129,6 +129,9 @@ fn qps_at_recall_used_by_experiments_is_monotone_safe() {
         qps,
         hops: 0.0,
         io_ms: 0.0,
+        io_stall_ms: 0.0,
+        coalesced_ios: 0.0,
+        cache_hit_rate: 0.0,
     };
     // Unordered input must still interpolate.
     let pts = vec![mk(0.9, 500.0), mk(0.6, 2000.0), mk(0.97, 100.0)];

@@ -1,0 +1,288 @@
+//! Cross-crate contracts of the pipelined disk engine (DESIGN.md §10):
+//! width-1 bit-equality against the serial oracle for every estimator
+//! family (PQ, OPQ, and the 4-bit FastScan mode), the recall envelope at
+//! wide `io_width`, and trace-driven cache admission beating the BFS
+//! warm-up on a skewed workload.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use rpq_anns::{DiskIndex, DiskIndexConfig, SsdModel};
+use rpq_bench::setup::{make_bench, Bench, Method};
+use rpq_bench::Scale;
+use rpq_data::synth::DatasetKind;
+use rpq_data::Dataset;
+use rpq_graph::{DistanceEstimator, ProximityGraph, VamanaConfig};
+use rpq_quant::{
+    CompactCodes, Packed4AdcEstimator, PackedCodes4, PqConfig, ProductQuantizer, QuantizedLut,
+    SoaCodes, VectorCompressor,
+};
+
+fn tmp_store(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rpq-it-diskio-{}-{tag}.store", std::process::id()))
+}
+
+fn prepare(n_base: usize, n_query: usize, seed: u64) -> (Bench, ProximityGraph) {
+    let bench = make_bench(DatasetKind::Sift, n_base, n_query, 10, seed);
+    let graph = VamanaConfig {
+        r: 24,
+        l: 48,
+        ..Default::default()
+    }
+    .build(&bench.base);
+    (bench, graph)
+}
+
+/// A PQ compressor that routes **only** through the 4-bit FastScan path:
+/// it owns the packed nibble codes and both estimator entry points return
+/// [`Packed4AdcEstimator`] over them, ignoring the engine-provided code
+/// stores. `DiskIndex` has no native 4-bit layout, so this wrapper is how
+/// the quantized-LUT estimator is driven through the disk engines — the
+/// scalar (serial oracle) and batched (pipelined) paths must still agree
+/// bit-for-bit.
+struct Packed4Pq {
+    pq: ProductQuantizer,
+    packed: PackedCodes4,
+}
+
+impl Packed4Pq {
+    fn train(data: &Dataset, m: usize, seed: u64) -> Self {
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m,
+                k: 16, // nibble codes: K must fit in 4 bits
+                seed,
+                ..Default::default()
+            },
+            data,
+        );
+        let packed = PackedCodes4::from_compact(&pq.encode_dataset(data));
+        Self { pq, packed }
+    }
+
+    fn estimator_4bit<'a>(&'a self, query: &[f32]) -> Packed4AdcEstimator<'a> {
+        Packed4AdcEstimator::new(
+            QuantizedLut::new(&self.pq.lookup_table(query)),
+            &self.packed,
+        )
+    }
+}
+
+impl VectorCompressor for Packed4Pq {
+    fn name(&self) -> String {
+        "PQ-4bit".to_string()
+    }
+    fn dim(&self) -> usize {
+        self.pq.dim()
+    }
+    fn code_dim(&self) -> usize {
+        self.pq.code_dim()
+    }
+    fn model_bytes(&self) -> usize {
+        self.pq.model_bytes() + self.packed.memory_bytes()
+    }
+    fn train_seconds(&self) -> f32 {
+        self.pq.train_seconds()
+    }
+    fn encode_dataset(&self, data: &Dataset) -> CompactCodes {
+        self.pq.encode_dataset(data)
+    }
+    fn decode_into(&self, code: &[u8], out: &mut [f32]) {
+        self.pq.decode_into(code, out)
+    }
+    fn estimator<'a>(
+        &'a self,
+        _codes: &'a CompactCodes,
+        query: &'a [f32],
+    ) -> Box<dyn DistanceEstimator + 'a> {
+        Box::new(self.estimator_4bit(query))
+    }
+    fn batch_estimator<'a>(
+        &'a self,
+        _codes: &'a SoaCodes,
+        query: &'a [f32],
+    ) -> Option<Box<dyn DistanceEstimator + 'a>> {
+        Some(Box::new(self.estimator_4bit(query)))
+    }
+}
+
+/// Runs every query through both engines at `io_width = 1` and demands
+/// bit-identical results and identical routing work.
+fn assert_width1_matches_serial<C: VectorCompressor>(
+    index: &DiskIndex<C>,
+    bench: &Bench,
+    ef: usize,
+) {
+    for (qi, q) in bench.queries.iter().enumerate() {
+        let (serial, s_stats) = index.search_serial(q, ef, 10);
+        let (piped, p_stats) = index.search(q, ef, 10);
+        assert_eq!(serial.len(), piped.len(), "query {qi}: result count");
+        for (a, b) in serial.iter().zip(piped.iter()) {
+            assert_eq!(a.id, b.id, "query {qi}: ids diverge");
+            assert_eq!(
+                a.dist.to_bits(),
+                b.dist.to_bits(),
+                "query {qi}: distance bits diverge"
+            );
+        }
+        assert_eq!(s_stats.hops, p_stats.hops, "query {qi}: hops");
+        assert_eq!(s_stats.io_reads, p_stats.io_reads, "query {qi}: io reads");
+        assert_eq!(
+            s_stats.dist_comps, p_stats.dist_comps,
+            "query {qi}: distance computations"
+        );
+    }
+}
+
+/// Width-1 bit-equality must hold for every estimator family the engine
+/// can route with — the exact f32 ADC paths (PQ, OPQ) and the 4-bit
+/// quantized-LUT path, whose scalar/batched kernels are integer-exact.
+#[test]
+fn width1_is_bit_identical_for_pq_opq_and_4bit_estimators() {
+    let scale = Scale::ci();
+    let (bench, graph) = prepare(700, 12, 31);
+    let arc = Arc::new(graph);
+
+    let compressors: Vec<(&str, Box<dyn VectorCompressor>)> = vec![
+        ("pq", Method::Pq.build(&bench.base, &arc, &scale)),
+        ("opq", Method::Opq.build(&bench.base, &arc, &scale)),
+        ("pq4", Box::new(Packed4Pq::train(&bench.base, scale.m, 31))),
+    ];
+    for (tag, c) in compressors {
+        let index = DiskIndex::build(
+            c,
+            &bench.base,
+            &arc,
+            DiskIndexConfig::new(tmp_store(&format!("bitexact-{tag}"))),
+        )
+        .expect("disk index build failed");
+        for ef in [10, 40] {
+            assert_width1_matches_serial(&index, &bench, ef);
+        }
+    }
+}
+
+/// Wider frontiers read speculatively but may only *grow* the explored
+/// region: recall at `io_width ∈ {4, 8}` stays within 0.02 of the serial
+/// engine at the same ef.
+#[test]
+fn wide_io_widths_stay_inside_the_recall_envelope() {
+    let scale = Scale::ci();
+    let (bench, graph) = prepare(700, 20, 32);
+    let arc = Arc::new(graph);
+    let mut index = DiskIndex::build(
+        Method::Pq.build(&bench.base, &arc, &scale),
+        &bench.base,
+        &arc,
+        DiskIndexConfig::new(tmp_store("envelope")),
+    )
+    .expect("disk index build failed");
+
+    let recall_at = |index: &DiskIndex<_>, ef: usize| {
+        let ids: Vec<Vec<u32>> = bench
+            .queries
+            .iter()
+            .map(|q| index.search(q, ef, 10).0.iter().map(|n| n.id).collect())
+            .collect();
+        bench.gt.recall(&ids)
+    };
+
+    for ef in [10, 30] {
+        let serial = recall_at(&index, ef);
+        for width in [4, 8] {
+            index.set_io_policy(width, SsdModel::nvme());
+            let wide = recall_at(&index, ef);
+            index.set_io_policy(1, SsdModel::fixed(100.0));
+            assert!(
+                wide >= serial - 0.02,
+                "ef {ef} width {width}: recall {wide} fell more than 0.02 below serial {serial}"
+            );
+        }
+    }
+}
+
+/// A deterministic LCG-driven Zipf(s≈1.1) sampler over `0..n`.
+struct Zipf {
+    cdf: Vec<f64>,
+    state: u64,
+}
+
+impl Zipf {
+    fn new(n: usize, seed: u64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(1.1);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Self { cdf, state: seed }
+    }
+
+    fn next(&mut self) -> usize {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (self.state >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    fn draw(&mut self, count: usize) -> Vec<usize> {
+        (0..count).map(|_| self.next()).collect()
+    }
+}
+
+/// Frequency-based (trace-driven) cache admission must serve a skewed
+/// workload at least as well as the BFS-from-entry warm-up: the BFS cache
+/// pins the entry region regardless of traffic, while the trace cache pins
+/// exactly the blocks the hot queries touch.
+#[test]
+fn trace_admission_beats_bfs_warmup_on_a_zipf_workload() {
+    let scale = Scale::ci();
+    let (bench, graph) = prepare(900, 5, 33);
+    let arc = Arc::new(graph);
+    let mut index = DiskIndex::build(
+        Method::Pq.build(&bench.base, &arc, &scale),
+        &bench.base,
+        &arc,
+        DiskIndexConfig {
+            cache_nodes: 120,
+            ..DiskIndexConfig::new(tmp_store("zipf"))
+        },
+    )
+    .expect("disk index build failed");
+
+    // Warm-up and evaluation traffic drawn from one Zipf stream: same
+    // skew, disjoint draws (continuing the stream), so trace admission is
+    // predictive, not self-fulfilling.
+    let mut zipf = Zipf::new(bench.base.len(), 7);
+    let warm = bench.base.subset(&zipf.draw(60));
+    let eval = bench.base.subset(&zipf.draw(40));
+
+    let hit_rate = |index: &DiskIndex<_>| {
+        let (mut hits, mut misses) = (0usize, 0usize);
+        for q in eval.iter() {
+            let (_, stats) = index.search(q, 30, 10);
+            hits += stats.cache_hits;
+            misses += stats.cache_misses;
+        }
+        hits as f64 / (hits + misses).max(1) as f64
+    };
+
+    let bfs_rate = hit_rate(&index); // cache as built: BFS from the entry
+    let pinned = index.warm_cache_by_trace(&warm, 30);
+    assert!(pinned > 0, "trace warm-up pinned nothing");
+    let trace_rate = hit_rate(&index);
+
+    assert!(
+        trace_rate >= bfs_rate,
+        "trace admission ({trace_rate:.3}) lost to BFS warm-up ({bfs_rate:.3})"
+    );
+    assert!(
+        trace_rate > 0.0,
+        "a skewed workload over a warmed cache must hit"
+    );
+}
