@@ -1,0 +1,1514 @@
+//! Replicated, admission-controlled serving with live reconfiguration
+//! (DESIGN.md §11).
+//!
+//! [`ShardedIndex`](super::ShardedIndex) scales reads with *partitions*;
+//! this module scales
+//! them with *replicas* and makes the result service-shaped:
+//!
+//! - **Replication** ([`ReplicaSet`]): each shard group holds N
+//!   bit-identical replicas of one backend behind a pluggable
+//!   [`LoadBalancePolicy`]. Frozen backends are `Arc`-shared; mutable
+//!   backends are forked ([`MutableShardBackend::fork_local`]) and kept
+//!   identical by state-machine replication — every write applies to
+//!   every replica in the same order. Because replicas are bit-identical,
+//!   *any* replica choice returns the same top-k and the §7.3 exact-merge
+//!   contract survives replication unchanged.
+//! - **Admission control** ([`super::AdmissionConfig`]): every request is
+//!   admitted or shed with a typed [`RejectReason`] before execution;
+//!   the queue is bounded, deadlines shed early, tenants have quotas.
+//! - **Live reconfiguration**: [`ClusterIndex::add_shard`] /
+//!   [`ClusterIndex::remove_shard`] / [`ClusterIndex::set_replicas`]
+//!   rebalance by the same `g % n_groups` round-robin rule the builders
+//!   use, moving points through `MutableShardBackend` remove+insert.
+//!   [`ClusterEngine`] wraps the index in a `RwLock`, so every query sees
+//!   one atomic membership view — never a torn one.
+//!
+//! Time is virtual: arrivals come from an [`ArrivalSchedule`], service
+//! times from a [`CostModel`] over deterministic work counters, and queue
+//! waits from per-replica [`VirtualClock`]s. On this 1-core container
+//! that is the honest way to measure goodput and p99 under overload
+//! (DESIGN.md §11.4); it also makes every run bit-reproducible, which is
+//! what lets tests/determinism.rs pin the whole serving path across
+//! `RPQ_THREADS` settings.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+use rpq_data::Dataset;
+use rpq_graph::{Neighbor, ProximityGraph, SearchScratch};
+use rpq_quant::VectorCompressor;
+
+use super::admission::{AdmissionConfig, AdmissionState, RejectReason};
+use super::balance::LoadBalancePolicy;
+use super::fault::{FlakyBackend, ReplicaFault};
+use super::loadgen::{ArrivalSchedule, CostModel};
+use super::metrics::LatencySummary;
+use super::{
+    assert_shardable, merge_top_k, partition_round_robin, MutableShardBackend, ShardBackend,
+    ShardQueryStats,
+};
+use crate::memory::InMemoryIndex;
+use crate::ssd::VirtualClock;
+use crate::stream::{StreamingConfig, StreamingIndex};
+
+/// One replica's backend. Three faces instead of two
+/// ([`super::Shard`]'s `ShardHandle`) because replication and fault
+/// injection each need something the plain handle can't do: frozen
+/// backends must be shareable (`Arc`) so N replicas don't cost N copies,
+/// and flaky backends must keep their fault switches reachable from the
+/// outside while installed.
+pub enum ClusterHandle {
+    /// A frozen backend, shareable across replicas.
+    Frozen(Arc<dyn ShardBackend>),
+    /// A mutable backend, exclusively owned (forked per replica).
+    Mutable(Box<dyn MutableShardBackend>),
+    /// A fault-injection wrapper (tests); shared so the test keeps a
+    /// handle to the failure switches.
+    Flaky(Arc<FlakyBackend>),
+}
+
+impl ClusterHandle {
+    /// The fallible read path: only [`ClusterHandle::Flaky`] ever fails.
+    fn try_search(
+        &self,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<(Vec<Neighbor>, ShardQueryStats), ReplicaFault> {
+        match self {
+            ClusterHandle::Frozen(b) => Ok(b.search_local(query, ef, k, scratch)),
+            ClusterHandle::Mutable(b) => Ok(b.search_local(query, ef, k, scratch)),
+            ClusterHandle::Flaky(b) => b.try_search_local(query, ef, k, scratch),
+        }
+    }
+
+    fn shard_len(&self) -> usize {
+        match self {
+            ClusterHandle::Frozen(b) => b.shard_len(),
+            ClusterHandle::Mutable(b) => b.shard_len(),
+            ClusterHandle::Flaky(b) => b.shard_len(),
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        match self {
+            ClusterHandle::Frozen(b) => b.resident_bytes(),
+            ClusterHandle::Mutable(b) => b.resident_bytes(),
+            ClusterHandle::Flaky(b) => b.resident_bytes(),
+        }
+    }
+
+    fn mutable(&mut self) -> Option<&mut dyn MutableShardBackend> {
+        match self {
+            ClusterHandle::Mutable(b) => Some(&mut **b),
+            _ => None,
+        }
+    }
+
+    fn as_mutable(&self) -> Option<&dyn MutableShardBackend> {
+        match self {
+            ClusterHandle::Mutable(b) => Some(&**b),
+            _ => None,
+        }
+    }
+
+    /// A new replica of this backend: frozen/flaky backends share,
+    /// mutable backends deep-fork (bit-identical by contract).
+    fn fork(&self) -> ClusterHandle {
+        match self {
+            ClusterHandle::Frozen(b) => ClusterHandle::Frozen(Arc::clone(b)),
+            ClusterHandle::Mutable(b) => ClusterHandle::Mutable(b.fork_local()),
+            ClusterHandle::Flaky(b) => ClusterHandle::Flaky(Arc::clone(b)),
+        }
+    }
+}
+
+/// One replica: a backend plus its runtime state — a virtual device
+/// timeline, the completions outstanding on it, and an enable switch
+/// (drained replicas stay resident but take no traffic).
+pub struct Replica {
+    handle: ClusterHandle,
+    clock: VirtualClock,
+    /// Virtual completion times of requests this replica is serving.
+    outstanding: Mutex<Vec<f64>>,
+    enabled: AtomicBool,
+}
+
+impl Replica {
+    fn new(handle: ClusterHandle) -> Self {
+        Self {
+            handle,
+            clock: VirtualClock::new(),
+            outstanding: Mutex::new(Vec::new()),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// A replica over a shared frozen backend.
+    pub fn frozen(backend: Arc<dyn ShardBackend>) -> Self {
+        Self::new(ClusterHandle::Frozen(backend))
+    }
+
+    /// A replica over an exclusively-owned mutable backend.
+    pub fn mutable(backend: Box<dyn MutableShardBackend>) -> Self {
+        Self::new(ClusterHandle::Mutable(backend))
+    }
+
+    /// A replica over a fault-injection wrapper (keep the `Arc` to flip
+    /// its switches mid-run).
+    pub fn flaky(backend: Arc<FlakyBackend>) -> Self {
+        Self::new(ClusterHandle::Flaky(backend))
+    }
+
+    /// Takes the replica in or out of rotation (resident either way).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Requests admitted to this replica and not yet complete at `now_us`.
+    fn outstanding_at(&self, now_us: f64) -> usize {
+        let mut v = self.outstanding.lock();
+        v.retain(|&done| done > now_us);
+        v.len()
+    }
+
+    fn reset_runtime(&self) {
+        self.clock.reset();
+        self.outstanding.lock().clear();
+    }
+}
+
+/// N bit-identical replicas of one shard behind a balance policy.
+pub struct ReplicaSet {
+    replicas: Vec<Replica>,
+    /// Round-robin cursor (advances only when that policy runs).
+    rr: AtomicUsize,
+}
+
+impl ReplicaSet {
+    /// Wraps replicas; they must exist and agree on shard length.
+    pub fn new(replicas: Vec<Replica>) -> Self {
+        assert!(!replicas.is_empty(), "a replica set needs >= 1 replica");
+        let len = replicas[0].handle.shard_len();
+        for r in &replicas {
+            assert_eq!(r.handle.shard_len(), len, "replicas diverged in length");
+        }
+        Self {
+            replicas,
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// Replication factor.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Vectors per replica (tombstones included).
+    pub fn shard_len(&self) -> usize {
+        self.replicas[0].handle.shard_len()
+    }
+
+    /// The replicas, for enable switches and inspection.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// Preference order over replicas for one read at virtual time
+    /// `now_us`: the policy ranks enabled replicas (ties toward the lower
+    /// index), then disabled ones trail as a last resort — a *disabled*
+    /// replica still answers correctly, whereas a faulted one cannot.
+    fn order(&self, policy: LoadBalancePolicy, now_us: f64) -> Vec<usize> {
+        let mut on: Vec<usize> = (0..self.replicas.len())
+            .filter(|&i| self.replicas[i].is_enabled())
+            .collect();
+        match policy {
+            LoadBalancePolicy::RoundRobin => {
+                if !on.is_empty() {
+                    let cursor = self.rr.fetch_add(1, Ordering::Relaxed) % on.len();
+                    on.rotate_left(cursor);
+                }
+            }
+            LoadBalancePolicy::LeastOutstanding => {
+                on.sort_by_key(|&i| (self.replicas[i].outstanding_at(now_us), i));
+            }
+            LoadBalancePolicy::QueueAware => {
+                on.sort_by(|&a, &b| {
+                    self.replicas[a]
+                        .clock
+                        .backlog_us(now_us)
+                        .total_cmp(&self.replicas[b].clock.backlog_us(now_us))
+                        .then(a.cmp(&b))
+                });
+            }
+        }
+        on.extend((0..self.replicas.len()).filter(|&i| !self.replicas[i].is_enabled()));
+        on
+    }
+
+    /// One read at virtual time `now_us`: try replicas in policy order,
+    /// failing over past faulted ones. On success, reserves the query's
+    /// modeled service time on the chosen replica's timeline and returns
+    /// `(results, stats, virtual completion time)`. `Err` only when every
+    /// replica failed.
+    #[allow(clippy::too_many_arguments)]
+    fn search_at(
+        &self,
+        policy: LoadBalancePolicy,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+        now_us: f64,
+        cost: &CostModel,
+    ) -> Result<(Vec<Neighbor>, ShardQueryStats, f64), ReplicaFault> {
+        for idx in self.order(policy, now_us) {
+            let replica = &self.replicas[idx];
+            match replica.handle.try_search(query, ef, k, scratch) {
+                Ok((res, stats)) => {
+                    let service_us = cost.service_us(&stats);
+                    let wait_us = replica.clock.reserve_at(now_us, service_us);
+                    let completion_us = now_us + wait_us + service_us;
+                    replica.outstanding.lock().push(completion_us);
+                    return Ok((res, stats, completion_us));
+                }
+                Err(ReplicaFault) => continue,
+            }
+        }
+        Err(ReplicaFault)
+    }
+
+    /// Least backlog across enabled replicas (falling back to all
+    /// replicas when the whole set is drained, since drained replicas
+    /// still answer as a last resort) — the admission gate's estimate of
+    /// how long a request admitted now would wait to start.
+    fn min_backlog_us(&self, now_us: f64) -> f64 {
+        let best = self
+            .replicas
+            .iter()
+            .filter(|r| r.is_enabled())
+            .map(|r| r.clock.backlog_us(now_us))
+            .fold(f64::INFINITY, f64::min);
+        if best.is_finite() {
+            return best;
+        }
+        self.replicas
+            .iter()
+            .map(|r| r.clock.backlog_us(now_us))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Grows or shrinks to `n` replicas: new ones fork replica 0, excess
+    /// ones drop from the tail. Panics on `n == 0`.
+    fn set_replicas(&mut self, n: usize) {
+        assert!(n >= 1, "a shard group cannot have zero replicas");
+        while self.replicas.len() > n {
+            self.replicas.pop();
+        }
+        while self.replicas.len() < n {
+            let fork = self.replicas[0].handle.fork();
+            self.replicas.push(Replica::new(fork));
+        }
+    }
+
+    /// Applies one insert to **every** replica (state-machine
+    /// replication); all must agree on the assigned local id.
+    fn insert_local(&mut self, v: &[f32], scratch: &mut SearchScratch) -> u32 {
+        let mut assigned = None;
+        for replica in &mut self.replicas {
+            let backend = replica
+                .handle
+                .mutable()
+                .expect("insert routed to a non-mutable replica");
+            let local = backend.insert_local(v, scratch);
+            match assigned {
+                None => assigned = Some(local),
+                Some(first) => assert_eq!(local, first, "replicas diverged on insert"),
+            }
+        }
+        assigned.expect("replica set is never empty")
+    }
+
+    /// Applies one tombstone to every replica; all must agree.
+    fn remove_local(&mut self, local_id: u32) -> bool {
+        let mut agreed = None;
+        for replica in &mut self.replicas {
+            let backend = replica
+                .handle
+                .mutable()
+                .expect("remove routed to a non-mutable replica");
+            let ok = backend.remove_local(local_id);
+            match agreed {
+                None => agreed = Some(ok),
+                Some(first) => assert_eq!(ok, first, "replicas diverged on remove"),
+            }
+        }
+        agreed.expect("replica set is never empty")
+    }
+
+    /// Consolidates every replica; survivor lists must be identical
+    /// (replicas apply the same writes in the same order, so they are).
+    fn consolidate_local(&mut self, force: bool) -> Option<Vec<u32>> {
+        let mut first: Option<Option<Vec<u32>>> = None;
+        for replica in &mut self.replicas {
+            let backend = replica
+                .handle
+                .mutable()
+                .expect("consolidate routed to a non-mutable replica");
+            let survivors = backend.consolidate_local(force);
+            match &first {
+                None => first = Some(survivors),
+                Some(want) => assert_eq!(&survivors, want, "replicas diverged on consolidate"),
+            }
+        }
+        first.expect("replica set is never empty")
+    }
+
+    fn live_len(&self) -> usize {
+        self.replicas[0]
+            .handle
+            .as_mutable()
+            .map_or_else(|| self.shard_len(), |b| b.live_len())
+    }
+
+    fn is_mutable(&self) -> bool {
+        self.replicas[0].handle.as_mutable().is_some()
+    }
+}
+
+/// One shard group: a replica set plus the positional local→global id
+/// map (shared by all replicas, since they are bit-identical).
+pub struct ClusterGroup {
+    set: ReplicaSet,
+    global_ids: Vec<u32>,
+}
+
+impl ClusterGroup {
+    /// Wraps a replica set with its id map.
+    pub fn new(set: ReplicaSet, global_ids: Vec<u32>) -> Self {
+        assert_eq!(
+            set.shard_len(),
+            global_ids.len(),
+            "id map must cover the shard group"
+        );
+        Self { set, global_ids }
+    }
+
+    /// The replica set (enable switches etc.).
+    pub fn replica_set(&self) -> &ReplicaSet {
+        &self.set
+    }
+
+    /// Global ids resident in this group (tombstones included).
+    pub fn global_ids(&self) -> &[u32] {
+        &self.global_ids
+    }
+}
+
+/// A replicated, dynamically re-shardable index: the data-plane state
+/// behind a [`ClusterEngine`]. Mutating methods take `&mut self`; the
+/// engine serializes them behind its `RwLock` so reads always see an
+/// atomic membership view.
+pub struct ClusterIndex {
+    groups: Vec<ClusterGroup>,
+    dim: usize,
+    policy: LoadBalancePolicy,
+    /// Next global id to hand out; never reused (same contract as
+    /// [`ShardedIndex`]).
+    next_global: u32,
+}
+
+impl ClusterIndex {
+    /// Assembles a cluster from prepared groups. Panics if groups' global
+    /// ids overlap.
+    pub fn from_groups(groups: Vec<ClusterGroup>, dim: usize, policy: LoadBalancePolicy) -> Self {
+        let total: usize = groups.iter().map(|g| g.global_ids.len()).sum();
+        let mut seen = std::collections::HashSet::with_capacity(total);
+        let mut next_global = 0u32;
+        for group in &groups {
+            for &g in &group.global_ids {
+                assert!(seen.insert(g), "global id {g} appears in two shard groups");
+                next_global = next_global.max(g + 1);
+            }
+        }
+        assert!(!groups.is_empty(), "a cluster needs >= 1 shard group");
+        Self {
+            groups,
+            dim,
+            policy,
+            next_global,
+        }
+    }
+
+    /// Round-robin partitions `data` into `n_shards` frozen in-memory
+    /// groups of `replicas` replicas each. Each group builds its backend
+    /// **once** and `Arc`-shares it — replication of frozen shards costs
+    /// pointers, not memory.
+    pub fn build_in_memory<C>(
+        compressor: &C,
+        data: &Dataset,
+        n_shards: usize,
+        replicas: usize,
+        policy: LoadBalancePolicy,
+        build_graph: impl Fn(&Dataset) -> ProximityGraph,
+    ) -> Self
+    where
+        C: VectorCompressor + Clone + 'static,
+    {
+        assert_shardable(data.len(), n_shards);
+        assert!(replicas >= 1, "need >= 1 replica");
+        let groups = partition_round_robin(data.len(), n_shards)
+            .into_iter()
+            .map(|ids| {
+                let local: Vec<usize> = ids.iter().map(|&g| g as usize).collect();
+                let part = data.subset(&local);
+                let graph = build_graph(&part);
+                let backend: Arc<dyn ShardBackend> =
+                    Arc::new(InMemoryIndex::build(compressor.clone(), &part, graph));
+                let set = ReplicaSet::new(
+                    (0..replicas)
+                        .map(|_| Replica::frozen(Arc::clone(&backend)))
+                        .collect(),
+                );
+                ClusterGroup::new(set, ids)
+            })
+            .collect();
+        Self::from_groups(groups, data.dim(), policy)
+    }
+
+    /// Round-robin partitions `data` into `n_shards` **mutable** streaming
+    /// groups of `replicas` forked replicas each — the configuration live
+    /// reconfiguration needs.
+    pub fn build_streaming<C>(
+        compressor: &C,
+        data: &Dataset,
+        n_shards: usize,
+        replicas: usize,
+        policy: LoadBalancePolicy,
+        cfg: StreamingConfig,
+    ) -> Self
+    where
+        C: VectorCompressor + Clone + 'static,
+    {
+        assert_shardable(data.len(), n_shards);
+        assert!(replicas >= 1, "need >= 1 replica");
+        let groups = partition_round_robin(data.len(), n_shards)
+            .into_iter()
+            .map(|ids| {
+                let local: Vec<usize> = ids.iter().map(|&g| g as usize).collect();
+                let part = data.subset(&local);
+                let index = StreamingIndex::build(compressor.clone(), &part, cfg);
+                let mut set = ReplicaSet::new(vec![Replica::mutable(Box::new(index))]);
+                set.set_replicas(replicas);
+                ClusterGroup::new(set, ids)
+            })
+            .collect();
+        Self::from_groups(groups, data.dim(), policy)
+    }
+
+    /// Shard groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The groups, for enable switches and inspection.
+    pub fn groups(&self) -> &[ClusterGroup] {
+        &self.groups
+    }
+
+    /// Total resident vectors (tombstones included) across groups,
+    /// counting each point once regardless of replication.
+    pub fn len(&self) -> usize {
+        self.groups.iter().map(|g| g.global_ids.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resident minus tombstoned points.
+    pub fn live_len(&self) -> usize {
+        self.groups.iter().map(|g| g.set.live_len()).sum()
+    }
+
+    /// Query dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Largest per-replica shard size — scratch sizing.
+    pub fn max_shard_len(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.set.shard_len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total RAM across groups and replicas (shared frozen backends
+    /// counted once per `Arc` clone would lie, so: backends per distinct
+    /// replica + one id map per group).
+    pub fn resident_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| {
+                g.global_ids.len() * std::mem::size_of::<u32>()
+                    + g.set
+                        .replicas
+                        .iter()
+                        .map(|r| r.handle.resident_bytes())
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// The active balance policy.
+    pub fn policy(&self) -> LoadBalancePolicy {
+        self.policy
+    }
+
+    /// Swaps the balance policy (takes effect on the next read).
+    pub fn set_policy(&mut self, policy: LoadBalancePolicy) {
+        self.policy = policy;
+    }
+
+    /// The admission gate's start-wait estimate: a query fans out to all
+    /// groups, so it starts when the *most backlogged* group's best
+    /// replica frees up.
+    pub fn est_start_wait_us(&self, now_us: f64) -> f64 {
+        self.groups
+            .iter()
+            .map(|g| g.set.min_backlog_us(now_us))
+            .fold(0.0, f64::max)
+    }
+
+    /// One read at virtual time `now_us`: fan out to every group through
+    /// its policy-chosen replica, merge exactly (§7.3), return the global
+    /// top-k, fan-out stats, and the query's virtual completion time (the
+    /// slowest group's). `Err(ShardUnavailable)` if any group has no
+    /// answering replica — a partial top-k would be silent corruption.
+    pub fn search_at(
+        &self,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+        now_us: f64,
+        cost: &CostModel,
+    ) -> Result<(Vec<Neighbor>, ShardQueryStats, f64), RejectReason> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut partials = Vec::with_capacity(self.groups.len());
+        let mut total = ShardQueryStats::default();
+        let mut completion_us = now_us;
+        for group in &self.groups {
+            if group.global_ids.is_empty() {
+                // A freshly-joined shard before rebalance lands points;
+                // nothing to search, nothing to reserve.
+                continue;
+            }
+            let (mut res, stats, done) = group
+                .set
+                .search_at(self.policy, query, ef, k, scratch, now_us, cost)
+                .map_err(|ReplicaFault| RejectReason::ShardUnavailable)?;
+            for n in &mut res {
+                n.id = group.global_ids[n.id as usize];
+            }
+            total.merge(&stats);
+            completion_us = completion_us.max(done);
+            partials.push(res);
+        }
+        Ok((merge_top_k(&partials, k), total, completion_us))
+    }
+
+    /// One read outside any schedule (virtual time 0, default costs):
+    /// the plain correctness-facing entry point.
+    pub fn search(
+        &self,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<(Vec<Neighbor>, ShardQueryStats), RejectReason> {
+        self.search_at(query, ef, k, scratch, 0.0, &CostModel::default())
+            .map(|(res, stats, _)| (res, stats))
+    }
+
+    /// Inserts one vector, routing by `g % n_groups` and applying it to
+    /// every replica of the target group. Returns the global id.
+    pub fn insert(&mut self, v: &[f32], scratch: &mut SearchScratch) -> u32 {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let g = self.next_global;
+        self.next_global += 1;
+        let n_groups = self.groups.len();
+        let group = &mut self.groups[g as usize % n_groups];
+        let local = group.set.insert_local(v, scratch);
+        assert_eq!(
+            local as usize,
+            group.global_ids.len(),
+            "mutable backend broke positional id alignment"
+        );
+        group.global_ids.push(g);
+        g
+    }
+
+    /// Tombstones a global id on every replica of its group. `false` when
+    /// unknown or already dead.
+    pub fn remove(&mut self, global_id: u32) -> bool {
+        for group in &mut self.groups {
+            // Linear scan, not binary search: rebalance moves points
+            // between groups, so id maps are not sorted after a
+            // reconfiguration.
+            if let Some(local) = group.global_ids.iter().position(|&g| g == global_id) {
+                if !group.set.is_mutable() {
+                    return false;
+                }
+                return group.set.remove_local(local as u32);
+            }
+        }
+        false
+    }
+
+    /// Consolidates every mutable group (threshold-gated per group unless
+    /// `force`), remapping id maps through the survivor lists. Returns
+    /// reclaimed points.
+    pub fn consolidate(&mut self, force: bool) -> usize {
+        let mut reclaimed = 0;
+        for group in &mut self.groups {
+            if !group.set.is_mutable() {
+                continue;
+            }
+            let Some(survivors) = group.set.consolidate_local(force) else {
+                continue;
+            };
+            reclaimed += group.global_ids.len() - survivors.len();
+            group.global_ids = survivors
+                .iter()
+                .map(|&old| group.global_ids[old as usize])
+                .collect();
+        }
+        reclaimed
+    }
+
+    /// Re-homes every live point to `g % n_groups` — the invariant the
+    /// builders establish and membership changes disturb. Consolidates
+    /// first (tombstones don't deserve a move), then walks groups and
+    /// locals in ascending order (deterministic), tombstoning each
+    /// misplaced point at its source and re-inserting its vector at its
+    /// target, and finally consolidates again to compact the sources.
+    fn rebalance(&mut self, scratch: &mut SearchScratch) {
+        self.consolidate(true);
+        let n_groups = self.groups.len();
+        let mut moves: Vec<(u32, Vec<f32>, usize)> = Vec::new();
+        for (gi, group) in self.groups.iter_mut().enumerate() {
+            for local in 0..group.global_ids.len() {
+                let g = group.global_ids[local];
+                let target = g as usize % n_groups;
+                if target == gi {
+                    continue;
+                }
+                let backend = group.set.replicas[0]
+                    .handle
+                    .as_mutable()
+                    .expect("rebalance requires mutable groups");
+                moves.push((g, backend.vector_local(local as u32).to_vec(), target));
+                group.set.remove_local(local as u32);
+            }
+        }
+        for (g, v, target) in moves {
+            let group = &mut self.groups[target];
+            let local = group.set.insert_local(&v, scratch);
+            assert_eq!(
+                local as usize,
+                group.global_ids.len(),
+                "mutable backend broke positional id alignment"
+            );
+            group.global_ids.push(g);
+        }
+        // Compact the tombstones the moves left behind at their sources.
+        self.consolidate(true);
+    }
+
+    /// Adds an (empty, mutable) shard group and rebalances live points
+    /// onto it by the `g % n_groups` rule. The new group gets the same
+    /// replication factor as group 0. Returns the new group's index.
+    /// Requires every existing group to be mutable (points must move).
+    pub fn add_shard(
+        &mut self,
+        backend: Box<dyn MutableShardBackend>,
+        scratch: &mut SearchScratch,
+    ) -> usize {
+        assert_eq!(
+            backend.shard_len(),
+            0,
+            "a joining shard must start empty; its points arrive by rebalance"
+        );
+        let replicas = self.groups[0].set.len();
+        let mut set = ReplicaSet::new(vec![Replica::mutable(backend)]);
+        set.set_replicas(replicas);
+        self.groups.push(ClusterGroup::new(set, Vec::new()));
+        self.rebalance(scratch);
+        self.groups.len() - 1
+    }
+
+    /// Removes shard group `gi`, redistributing its live points across
+    /// the survivors, then rebalances everyone to the new `g % n_groups`
+    /// rule. Panics when it is the last group.
+    pub fn remove_shard(&mut self, gi: usize, scratch: &mut SearchScratch) {
+        assert!(self.groups.len() > 1, "cannot remove the last shard group");
+        // Compact the departing group so only live points travel.
+        let mut departing = self.groups.remove(gi);
+        if departing.set.is_mutable() {
+            if let Some(survivors) = departing.set.consolidate_local(true) {
+                departing.global_ids = survivors
+                    .iter()
+                    .map(|&old| departing.global_ids[old as usize])
+                    .collect();
+            }
+        }
+        let n_groups = self.groups.len();
+        let backend = departing.set.replicas[0]
+            .handle
+            .as_mutable()
+            .expect("remove_shard requires a mutable departing group");
+        for (local, &g) in departing.global_ids.iter().enumerate() {
+            let v = backend.vector_local(local as u32).to_vec();
+            let group = &mut self.groups[g as usize % n_groups];
+            let new_local = group.set.insert_local(&v, scratch);
+            assert_eq!(
+                new_local as usize,
+                group.global_ids.len(),
+                "mutable backend broke positional id alignment"
+            );
+            group.global_ids.push(g);
+        }
+        // Survivors' own points may now be misplaced under the new rule.
+        self.rebalance(scratch);
+    }
+
+    /// Sets every group's replication factor (forking or dropping
+    /// replicas as needed).
+    pub fn set_replicas(&mut self, n: usize) {
+        for group in &mut self.groups {
+            group.set.set_replicas(n);
+        }
+    }
+
+    /// Clears all virtual-time runtime state (device horizons,
+    /// outstanding completions, round-robin cursors) so measurement runs
+    /// are independent of each other.
+    pub fn reset_virtual_time(&self) {
+        for group in &self.groups {
+            group.set.rr.store(0, Ordering::Relaxed);
+            for replica in &group.set.replicas {
+                replica.reset_runtime();
+            }
+        }
+    }
+}
+
+/// What happened to one scheduled request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestOutcome {
+    /// Executed: the exact merged top-k and the virtual end-to-end
+    /// latency (queue wait + service on the slowest group).
+    Completed {
+        neighbors: Vec<Neighbor>,
+        latency_us: f32,
+    },
+    /// Shed before execution (or failed on every replica of a group).
+    Rejected { reason: RejectReason },
+}
+
+impl RequestOutcome {
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RequestOutcome::Completed { .. })
+    }
+
+    /// The top-k, when completed.
+    pub fn neighbors(&self) -> Option<&[Neighbor]> {
+        match self {
+            RequestOutcome::Completed { neighbors, .. } => Some(neighbors),
+            RequestOutcome::Rejected { .. } => None,
+        }
+    }
+}
+
+/// Per-tenant admission accounting for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantTally {
+    pub tenant: u32,
+    /// Requests this tenant offered.
+    pub offered: usize,
+    /// Requests admitted (and executed).
+    pub admitted: usize,
+    /// Requests shed, any reason.
+    pub shed: usize,
+}
+
+/// What one open-loop run measured. Counters satisfy
+/// `completed + shed == offered` and `admitted == completed +
+/// shed_unavailable` (an unavailable-shard rejection happens *after*
+/// admission — the request was executed but no group could answer).
+#[derive(Clone, Debug, Default)]
+pub struct ClusterReport {
+    /// Requests in the schedule.
+    pub offered: usize,
+    /// Requests past the admission gate.
+    pub admitted: usize,
+    /// Requests that returned a top-k.
+    pub completed: usize,
+    /// Requests shed, any reason.
+    pub shed: usize,
+    pub shed_queue_full: usize,
+    pub shed_deadline: usize,
+    pub shed_quota: usize,
+    pub shed_unavailable: usize,
+    /// Offered arrival rate over the schedule's span.
+    pub offered_qps: f32,
+    /// Completed requests per second of virtual time.
+    pub goodput_qps: f32,
+    /// Virtual end-to-end latency over completed requests.
+    pub latency: LatencySummary,
+    /// Mean distance evaluations per completed request.
+    pub mean_dist_comps: f32,
+    /// Wall-clock seconds the run took to simulate (not a latency).
+    pub wall_seconds: f32,
+    /// Per-tenant tallies, ascending tenant id (deterministic order).
+    pub tenants: Vec<TenantTally>,
+}
+
+/// The serving control plane: a [`ClusterIndex`] behind a `RwLock` (reads
+/// share, reconfiguration excludes — each request sees one atomic
+/// membership view), an admission gate, and the virtual cost clock.
+pub struct ClusterEngine {
+    cluster: RwLock<ClusterIndex>,
+    admission: AdmissionConfig,
+    cost: CostModel,
+    epoch: Instant,
+}
+
+impl ClusterEngine {
+    pub fn new(cluster: ClusterIndex, admission: AdmissionConfig, cost: CostModel) -> Self {
+        Self {
+            cluster: RwLock::new(cluster),
+            admission,
+            cost,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The admission gate configuration.
+    pub fn admission(&self) -> AdmissionConfig {
+        self.admission
+    }
+
+    /// Swaps the admission gate (next run picks it up).
+    pub fn set_admission(&mut self, admission: AdmissionConfig) {
+        self.admission = admission;
+    }
+
+    /// The service-cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// Runs `f` under the read lock — a consistent membership snapshot.
+    pub fn with_read<R>(&self, f: impl FnOnce(&ClusterIndex) -> R) -> R {
+        f(&self.cluster.read())
+    }
+
+    /// Runs a reconfiguration under the write lock: no read overlaps it,
+    /// so no query ever observes a half-applied membership change.
+    pub fn reconfigure<R>(&self, f: impl FnOnce(&mut ClusterIndex) -> R) -> R {
+        f(&mut self.cluster.write())
+    }
+
+    /// One interactive read (wall-clock arrival time, no admission gate
+    /// beyond shard availability).
+    pub fn search(
+        &self,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<Vec<Neighbor>, RejectReason> {
+        let now_us = self.epoch.elapsed().as_nanos() as f64 / 1e3;
+        let cluster = self.cluster.read();
+        cluster
+            .search_at(query, ef, k, scratch, now_us, &self.cost)
+            .map(|(res, _, _)| res)
+    }
+
+    /// Replays a fixed arrival schedule against the cluster in virtual
+    /// time — the open-loop measurement loop (DESIGN.md §11.4). Per
+    /// request: estimate start wait, ask the admission gate, then either
+    /// execute (reserving modeled service on the chosen replicas'
+    /// timelines) or record a typed rejection. Returns one outcome per
+    /// request, in schedule order, plus the run's report.
+    ///
+    /// Virtual runtime state is reset at the start, so runs are
+    /// independent and reproducible; schedules must be sorted by arrival.
+    pub fn serve_open_loop(
+        &self,
+        queries: &Dataset,
+        schedule: &ArrivalSchedule,
+        ef: usize,
+        k: usize,
+    ) -> (Vec<RequestOutcome>, ClusterReport) {
+        let cluster = self.cluster.read();
+        assert_eq!(queries.dim(), cluster.dim(), "query dimension mismatch");
+        assert!(!queries.is_empty(), "need queries to serve");
+        cluster.reset_virtual_time();
+        let mut scratch = SearchScratch::new();
+        let mut admission = AdmissionState::new();
+        let mut outcomes = Vec::with_capacity(schedule.len());
+        let mut latencies_us: Vec<f32> = Vec::new();
+        let mut tallies: BTreeMap<u32, TenantTally> = BTreeMap::new();
+        let mut report = ClusterReport {
+            offered: schedule.len(),
+            ..Default::default()
+        };
+        let mut total_dists = 0usize;
+        let mut horizon_us = schedule.span_us();
+        let t0 = Instant::now();
+
+        let mut prev_arrival = 0.0f64;
+        for request in &schedule.requests {
+            assert!(
+                request.arrival_us >= prev_arrival,
+                "schedule must be sorted by arrival"
+            );
+            prev_arrival = request.arrival_us;
+            let tally = tallies.entry(request.tenant).or_insert(TenantTally {
+                tenant: request.tenant,
+                ..Default::default()
+            });
+            tally.offered += 1;
+
+            let est_wait_us = cluster.est_start_wait_us(request.arrival_us);
+            let admitted = admission.admit(
+                &self.admission,
+                request.tenant,
+                request.arrival_us,
+                est_wait_us,
+            );
+            let outcome = match admitted {
+                Err(reason) => RequestOutcome::Rejected { reason },
+                Ok(()) => {
+                    report.admitted += 1;
+                    tally.admitted += 1;
+                    let q = queries.get(request.query as usize % queries.len());
+                    match cluster.search_at(q, ef, k, &mut scratch, request.arrival_us, &self.cost)
+                    {
+                        Ok((neighbors, stats, completion_us)) => {
+                            admission.started(completion_us);
+                            total_dists += stats.dist_comps;
+                            horizon_us = horizon_us.max(completion_us);
+                            let latency_us = (completion_us - request.arrival_us) as f32;
+                            latencies_us.push(latency_us);
+                            RequestOutcome::Completed {
+                                neighbors,
+                                latency_us,
+                            }
+                        }
+                        Err(reason) => RequestOutcome::Rejected { reason },
+                    }
+                }
+            };
+            if let RequestOutcome::Rejected { reason } = &outcome {
+                report.shed += 1;
+                tally.shed += 1;
+                match reason {
+                    RejectReason::QueueFull => report.shed_queue_full += 1,
+                    RejectReason::DeadlineExceeded => report.shed_deadline += 1,
+                    RejectReason::QuotaExceeded => report.shed_quota += 1,
+                    RejectReason::ShardUnavailable => report.shed_unavailable += 1,
+                }
+            }
+            outcomes.push(outcome);
+        }
+
+        report.completed = latencies_us.len();
+        debug_assert_eq!(report.completed + report.shed, report.offered);
+        debug_assert_eq!(report.admitted, report.completed + report.shed_unavailable);
+        let span_s = (schedule.span_us() / 1e6).max(1e-9);
+        let horizon_s = (horizon_us / 1e6).max(1e-9);
+        report.offered_qps = (report.offered as f64 / span_s) as f32;
+        report.goodput_qps = (report.completed as f64 / horizon_s) as f32;
+        report.latency = LatencySummary::from_samples(&latencies_us);
+        report.mean_dist_comps = total_dists as f32 / report.completed.max(1) as f32;
+        report.wall_seconds = t0.elapsed().as_secs_f32();
+        report.tenants = tallies.into_values().collect();
+        (outcomes, report)
+    }
+
+    /// A closed-loop-shaped convenience: every query arrives at t=0 from
+    /// one tenant. The queue bound binds immediately, making this the
+    /// smallest demonstration of bounded admission.
+    pub fn serve_batch(
+        &self,
+        queries: &Dataset,
+        ef: usize,
+        k: usize,
+    ) -> (Vec<RequestOutcome>, ClusterReport) {
+        let schedule = ArrivalSchedule::burst(queries.len(), queries.len());
+        self.serve_open_loop(queries, &schedule, ef, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_data::synth::{SynthConfig, ValueTransform};
+    use rpq_graph::HnswConfig;
+    use rpq_quant::{PqConfig, ProductQuantizer};
+
+    fn setup(n: usize, seed: u64) -> (Dataset, Dataset) {
+        let data = SynthConfig {
+            dim: 8,
+            intrinsic_dim: 4,
+            clusters: 4,
+            cluster_std: 0.8,
+            noise_std: 0.05,
+            transform: ValueTransform::Identity,
+        }
+        .generate(n + 12, seed);
+        data.split_at(n)
+    }
+
+    fn graph_builder(part: &Dataset) -> ProximityGraph {
+        HnswConfig {
+            m: 8,
+            ef_construction: 40,
+            seed: 5,
+        }
+        .build(part)
+    }
+
+    fn pq(base: &Dataset) -> ProductQuantizer {
+        ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            base,
+        )
+    }
+
+    #[test]
+    fn frozen_replicas_share_memory() {
+        let (base, _) = setup(160, 31);
+        let pq = pq(&base);
+        let r1 = ClusterIndex::build_in_memory(
+            &pq,
+            &base,
+            2,
+            1,
+            LoadBalancePolicy::RoundRobin,
+            graph_builder,
+        );
+        let r4 = ClusterIndex::build_in_memory(
+            &pq,
+            &base,
+            2,
+            4,
+            LoadBalancePolicy::RoundRobin,
+            graph_builder,
+        );
+        assert_eq!(r1.groups()[0].replica_set().len(), 1);
+        assert_eq!(r4.groups()[0].replica_set().len(), 4);
+        // All four replicas of a frozen group must point at ONE backend
+        // allocation — replication of frozen shards costs pointers.
+        let set = r4.groups()[0].replica_set();
+        let ptrs: Vec<*const ()> = set
+            .replicas()
+            .iter()
+            .map(|r| match &r.handle {
+                ClusterHandle::Frozen(b) => Arc::as_ptr(b) as *const (),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn every_policy_returns_identical_results() {
+        let (base, queries) = setup(200, 32);
+        let pq = pq(&base);
+        let mut scratch = SearchScratch::new();
+        let mut reference: Option<Vec<Vec<u32>>> = None;
+        for policy in LoadBalancePolicy::all() {
+            for replicas in [1, 3] {
+                let cluster =
+                    ClusterIndex::build_in_memory(&pq, &base, 2, replicas, policy, graph_builder);
+                let got: Vec<Vec<u32>> = queries
+                    .iter()
+                    .map(|q| {
+                        let (res, _) = cluster.search(q, 60, 8, &mut scratch).unwrap();
+                        res.iter().map(|n| n.id).collect()
+                    })
+                    .collect();
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => assert_eq!(&got, want, "{} x{replicas} diverged", policy.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_and_queue_aware_balances() {
+        let (base, queries) = setup(160, 33);
+        let pq = pq(&base);
+        let cluster = ClusterIndex::build_in_memory(
+            &pq,
+            &base,
+            1,
+            3,
+            LoadBalancePolicy::RoundRobin,
+            graph_builder,
+        );
+        let mut scratch = SearchScratch::new();
+        let cost = CostModel::default();
+        for (i, q) in queries.iter().enumerate() {
+            cluster
+                .search_at(q, 40, 5, &mut scratch, i as f64, &cost)
+                .unwrap();
+        }
+        let loads: Vec<usize> = cluster.groups()[0]
+            .replica_set()
+            .replicas()
+            .iter()
+            .map(|r| r.outstanding.lock().len())
+            .collect();
+        let (min, max) = (*loads.iter().min().unwrap(), *loads.iter().max().unwrap());
+        assert!(
+            max - min <= 1,
+            "round robin must spread evenly, got {loads:?}"
+        );
+
+        // Queue-aware: all traffic at t=0 still spreads, because each
+        // reservation grows the chosen replica's backlog.
+        cluster.reset_virtual_time();
+        let cluster = {
+            let mut c = cluster;
+            c.set_policy(LoadBalancePolicy::QueueAware);
+            c
+        };
+        for q in queries.iter() {
+            cluster
+                .search_at(q, 40, 5, &mut scratch, 0.0, &cost)
+                .unwrap();
+        }
+        let loads: Vec<usize> = cluster.groups()[0]
+            .replica_set()
+            .replicas()
+            .iter()
+            .map(|r| r.outstanding.lock().len())
+            .collect();
+        let (min, max) = (*loads.iter().min().unwrap(), *loads.iter().max().unwrap());
+        assert!(
+            max - min <= 2,
+            "queue-aware must balance backlog, got {loads:?}"
+        );
+    }
+
+    #[test]
+    fn replica_scaling_increases_goodput_at_fixed_offered_load() {
+        let (base, queries) = setup(200, 34);
+        let pq = pq(&base);
+        let mk_engine = |replicas: usize| {
+            let cluster = ClusterIndex::build_in_memory(
+                &pq,
+                &base,
+                2,
+                replicas,
+                LoadBalancePolicy::QueueAware,
+                graph_builder,
+            );
+            ClusterEngine::new(
+                cluster,
+                AdmissionConfig {
+                    queue_cap: 32,
+                    ..Default::default()
+                },
+                CostModel::default(),
+            )
+        };
+        // Probe the single-replica capacity, then offer 2.5x it.
+        let e1 = mk_engine(1);
+        let probe = ArrivalSchedule::open_loop(64, 1.0, queries.len(), 1, 40);
+        let (_, unloaded) = e1.serve_open_loop(&queries, &probe, 40, 5);
+        let capacity_qps = 1e6 / unloaded.latency.mean_us as f64;
+        let offered = ArrivalSchedule::open_loop(800, 2.5 * capacity_qps, queries.len(), 1, 41);
+        let (_, r1) = e1.serve_open_loop(&queries, &offered, 40, 5);
+        let e2 = mk_engine(2);
+        let (_, r2) = e2.serve_open_loop(&queries, &offered, 40, 5);
+        assert!(
+            r1.shed > 0,
+            "2.5x overload must shed on one replica: {r1:?}"
+        );
+        assert!(
+            r2.goodput_qps > r1.goodput_qps,
+            "2 replicas must outrun 1 at the same offered load: {} vs {}",
+            r2.goodput_qps,
+            r1.goodput_qps
+        );
+        assert_eq!(r1.completed + r1.shed, r1.offered);
+        assert_eq!(r2.completed + r2.shed, r2.offered);
+    }
+
+    #[test]
+    fn burst_batch_respects_queue_bound_with_typed_rejections() {
+        let (base, queries) = setup(160, 35);
+        let pq = pq(&base);
+        let cluster = ClusterIndex::build_in_memory(
+            &pq,
+            &base,
+            2,
+            1,
+            LoadBalancePolicy::RoundRobin,
+            graph_builder,
+        );
+        let engine = ClusterEngine::new(
+            cluster,
+            AdmissionConfig {
+                queue_cap: 4,
+                ..Default::default()
+            },
+            CostModel::default(),
+        );
+        let (outcomes, report) = engine.serve_batch(&queries, 40, 5);
+        assert_eq!(outcomes.len(), queries.len());
+        // Everything arrives at t=0: exactly queue_cap requests fit.
+        assert_eq!(report.admitted, 4);
+        assert_eq!(report.shed, queries.len() - 4);
+        assert!(outcomes.iter().skip(4).all(|o| matches!(
+            o,
+            RequestOutcome::Rejected {
+                reason: RejectReason::QueueFull
+            }
+        )));
+    }
+
+    #[test]
+    fn streaming_cluster_replicates_writes_and_matches_sharded_reference() {
+        let (base, queries) = setup(180, 36);
+        let (initial, reserve) = base.split_at(150);
+        let pq = pq(&base);
+        let cfg = StreamingConfig {
+            r: 16,
+            l: 40,
+            ..Default::default()
+        };
+        let mut cluster = ClusterIndex::build_streaming(
+            &pq,
+            &initial,
+            2,
+            2,
+            LoadBalancePolicy::LeastOutstanding,
+            cfg,
+        );
+        let mut reference = super::super::ShardedIndex::build_streaming(&pq, &initial, 2, cfg);
+        let mut scratch = SearchScratch::new();
+        for v in reserve.iter() {
+            let g1 = cluster.insert(v, &mut scratch);
+            let g2 = reference.insert(v, &mut scratch);
+            assert_eq!(g1, g2);
+        }
+        for g in (0..180u32).step_by(9) {
+            assert_eq!(cluster.remove(g), reference.remove(g));
+        }
+        assert_eq!(cluster.live_len(), reference.live_len());
+        assert!(cluster.consolidate(true) > 0);
+        reference.consolidate(true);
+        assert_eq!(cluster.live_len(), reference.live_len());
+        // Exhaustive ef: exact top-k over identical live sets must agree.
+        let ef = 200;
+        for q in queries.iter() {
+            let (got, _) = cluster.search(q, ef, 10, &mut scratch).unwrap();
+            let (want, _) = reference.search(q, ef, 10, &mut scratch);
+            assert_eq!(
+                got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                want.iter().map(|n| n.id).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn set_replicas_forks_and_drops_without_changing_results() {
+        let (base, queries) = setup(140, 37);
+        let pq = pq(&base);
+        let mut cluster = ClusterIndex::build_streaming(
+            &pq,
+            &base,
+            2,
+            1,
+            LoadBalancePolicy::RoundRobin,
+            StreamingConfig::default(),
+        );
+        let mut scratch = SearchScratch::new();
+        let before: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| {
+                let (res, _) = cluster.search(q, 60, 5, &mut scratch).unwrap();
+                res.iter().map(|n| n.id).collect()
+            })
+            .collect();
+        cluster.set_replicas(3);
+        assert!(cluster.groups().iter().all(|g| g.replica_set().len() == 3));
+        let tripled: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| {
+                let (res, _) = cluster.search(q, 60, 5, &mut scratch).unwrap();
+                res.iter().map(|n| n.id).collect()
+            })
+            .collect();
+        assert_eq!(before, tripled, "forked replicas must answer identically");
+        cluster.set_replicas(1);
+        assert!(cluster.groups().iter().all(|g| g.replica_set().len() == 1));
+    }
+
+    #[test]
+    fn disabled_replicas_take_no_traffic_until_reenabled() {
+        let (base, queries) = setup(120, 38);
+        let pq = pq(&base);
+        let cluster = ClusterIndex::build_in_memory(
+            &pq,
+            &base,
+            1,
+            2,
+            LoadBalancePolicy::RoundRobin,
+            graph_builder,
+        );
+        let mut scratch = SearchScratch::new();
+        let cost = CostModel::default();
+        cluster.groups()[0].replica_set().replicas()[0].set_enabled(false);
+        for (i, q) in queries.iter().enumerate() {
+            cluster
+                .search_at(q, 30, 5, &mut scratch, i as f64, &cost)
+                .unwrap();
+        }
+        let set = cluster.groups()[0].replica_set();
+        assert_eq!(set.replicas()[0].outstanding.lock().len(), 0);
+        assert_eq!(set.replicas()[1].outstanding.lock().len(), queries.len());
+        set.replicas()[0].set_enabled(true);
+        cluster.reset_virtual_time();
+        for (i, q) in queries.iter().enumerate() {
+            cluster
+                .search_at(q, 30, 5, &mut scratch, i as f64, &cost)
+                .unwrap();
+        }
+        assert!(!set.replicas()[0].outstanding.lock().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must start empty")]
+    fn add_shard_rejects_prepopulated_backends() {
+        let (base, _) = setup(80, 39);
+        let pq = pq(&base);
+        let mut cluster = ClusterIndex::build_streaming(
+            &pq,
+            &base,
+            2,
+            1,
+            LoadBalancePolicy::RoundRobin,
+            StreamingConfig::default(),
+        );
+        let mut scratch = SearchScratch::new();
+        let full = StreamingIndex::build(pq.clone(), &base, StreamingConfig::default());
+        cluster.add_shard(Box::new(full), &mut scratch);
+    }
+
+    #[test]
+    fn add_and_remove_shard_preserve_membership_rule() {
+        let (base, _) = setup(120, 42);
+        let pq = pq(&base);
+        let mut cluster = ClusterIndex::build_streaming(
+            &pq,
+            &base,
+            2,
+            2,
+            LoadBalancePolicy::RoundRobin,
+            StreamingConfig::default(),
+        );
+        let mut scratch = SearchScratch::new();
+        let gi = cluster.add_shard(
+            Box::new(StreamingIndex::new(pq.clone(), StreamingConfig::default())),
+            &mut scratch,
+        );
+        assert_eq!(gi, 2);
+        assert_eq!(cluster.n_groups(), 3);
+        assert_eq!(cluster.live_len(), 120);
+        // Every live point now satisfies g % 3 == its group index, and the
+        // new group inherited the cluster's replication factor.
+        for (idx, group) in cluster.groups().iter().enumerate() {
+            assert_eq!(group.replica_set().len(), 2);
+            assert!(!group.global_ids().is_empty());
+            for &g in group.global_ids() {
+                assert_eq!(g as usize % 3, idx, "global {g} misplaced");
+            }
+        }
+        cluster.remove_shard(1, &mut scratch);
+        assert_eq!(cluster.n_groups(), 2);
+        assert_eq!(cluster.live_len(), 120);
+        for (idx, group) in cluster.groups().iter().enumerate() {
+            for &g in group.global_ids() {
+                assert_eq!(g as usize % 2, idx, "global {g} misplaced after remove");
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_run_is_reproducible() {
+        let (base, queries) = setup(140, 43);
+        let pq = pq(&base);
+        let mk = || {
+            let cluster = ClusterIndex::build_in_memory(
+                &pq,
+                &base,
+                2,
+                2,
+                LoadBalancePolicy::QueueAware,
+                graph_builder,
+            );
+            ClusterEngine::new(
+                cluster,
+                AdmissionConfig {
+                    queue_cap: 8,
+                    deadline_us: Some(10_000.0),
+                    ..Default::default()
+                },
+                CostModel::default(),
+            )
+        };
+        let schedule = ArrivalSchedule::open_loop(400, 20_000.0, queries.len(), 3, 44);
+        let (o1, r1) = mk().serve_open_loop(&queries, &schedule, 40, 5);
+        let (o2, r2) = mk().serve_open_loop(&queries, &schedule, 40, 5);
+        assert_eq!(o1, o2, "same schedule, same outcomes, bit for bit");
+        assert_eq!(r1.latency, r2.latency);
+        assert_eq!(r1.tenants, r2.tenants);
+        // And a third run on the SAME engine (reset_virtual_time) agrees.
+        let eng = mk();
+        let (o3, _) = eng.serve_open_loop(&queries, &schedule, 40, 5);
+        let (o4, _) = eng.serve_open_loop(&queries, &schedule, 40, 5);
+        assert_eq!(o3, o4, "virtual state must reset between runs");
+    }
+}

@@ -44,6 +44,14 @@ impl Default for ServeConfig {
 pub struct BatchReport {
     /// Queries answered.
     pub queries: usize,
+    /// Queries admitted by the front-end. The closed-loop engine admits
+    /// everything (the client self-throttles, so overload can't happen
+    /// here); the cluster's open-loop server reports real admission
+    /// decisions in its own [`crate::serve::ClusterReport`] (DESIGN.md
+    /// §11.3–§11.4).
+    pub admitted: usize,
+    /// Queries shed instead of executed (always 0 closed-loop).
+    pub shed: usize,
     /// Shards each query fanned out to.
     pub shards: usize,
     /// Worker threads that served the batch.
@@ -234,6 +242,8 @@ impl ServeEngine {
         let lookups = total.cache_hits + total.cache_misses;
         let report = BatchReport {
             queries: n_queries,
+            admitted: n_queries,
+            shed: 0,
             shards: n_shards,
             workers: self.pool.workers(),
             wall_seconds: wall,

@@ -1,0 +1,180 @@
+//! Open-loop load generation and the modeled service-cost clock
+//! (DESIGN.md §11.4).
+//!
+//! Closed-loop batches (`ServeEngine::serve_batch`) can never show
+//! overload: the client waits for completions, so offered load
+//! self-throttles to capacity. An **open-loop** generator fixes the
+//! arrival schedule up front — requests keep arriving whether or not the
+//! system keeps up — which is the honest way to measure goodput, shed
+//! fraction, and p99 past saturation. On this 1-core container the
+//! schedule drives a deterministic virtual-time simulation (arrivals in
+//! µs from t=0, service times from [`CostModel`]), so the cluster
+//! experiment's curves are bit-reproducible; wall-clock concurrency
+//! stays the closed-loop engine's job.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::ShardQueryStats;
+
+/// One scheduled request: who asks what, when.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Request {
+    /// Arrival on the virtual clock, µs from the schedule start.
+    pub arrival_us: f64,
+    /// Tenant id, for per-tenant quotas and tallies.
+    pub tenant: u32,
+    /// Index into the query set served with the schedule.
+    pub query: u32,
+}
+
+/// A fixed arrival schedule, sorted by arrival time.
+#[derive(Clone, Debug, Default)]
+pub struct ArrivalSchedule {
+    pub requests: Vec<Request>,
+}
+
+impl ArrivalSchedule {
+    /// Poisson arrivals: `n` requests at `offered_qps` mean rate —
+    /// exponential inter-arrival gaps from the seeded generator, tenant
+    /// and query drawn uniformly. Same seed, same schedule, any machine.
+    pub fn open_loop(
+        n: usize,
+        offered_qps: f64,
+        n_queries: usize,
+        tenants: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(offered_qps > 0.0, "offered load must be positive");
+        assert!(n_queries > 0, "need at least one query to schedule");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t_us = 0.0f64;
+        let requests = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t_us += -u.ln() * 1e6 / offered_qps;
+                Request {
+                    arrival_us: t_us,
+                    tenant: if tenants <= 1 {
+                        0
+                    } else {
+                        rng.gen_range(0..tenants)
+                    },
+                    query: rng.gen_range(0..n_queries as u32),
+                }
+            })
+            .collect();
+        Self { requests }
+    }
+
+    /// Every request at t=0 — what a closed-loop batch looks like to the
+    /// admission gate (the queue bound binds immediately).
+    pub fn burst(n: usize, n_queries: usize) -> Self {
+        assert!(n_queries > 0, "need at least one query to schedule");
+        let requests = (0..n)
+            .map(|i| Request {
+                arrival_us: 0.0,
+                tenant: 0,
+                query: (i % n_queries) as u32,
+            })
+            .collect();
+        Self { requests }
+    }
+
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Last arrival time (µs) — the horizon offered load is measured over.
+    pub fn span_us(&self) -> f64 {
+        self.requests.last().map_or(0.0, |r| r.arrival_us)
+    }
+}
+
+/// Converts a query's deterministic work counters into modeled service
+/// time. Distance evaluations and hops are the thread-invariant cost
+/// drivers (DESIGN.md §7.6); modeled I/O waits pass through as-is, which
+/// is how an injected device stall (fault.rs) reaches the admission gate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Per-request overhead, µs.
+    pub fixed_us: f32,
+    /// Cost per distance-estimator invocation, µs.
+    pub per_dist_us: f32,
+    /// Cost per next-hop selection, µs.
+    pub per_hop_us: f32,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            fixed_us: 2.0,
+            per_dist_us: 0.02,
+            per_hop_us: 0.1,
+        }
+    }
+}
+
+impl CostModel {
+    /// Modeled service time (µs) for a query that did `stats` worth of
+    /// work on one replica.
+    pub fn service_us(&self, stats: &ShardQueryStats) -> f64 {
+        self.fixed_us as f64
+            + self.per_dist_us as f64 * stats.dist_comps as f64
+            + self.per_hop_us as f64 * stats.hops as f64
+            + stats.modeled_wait_seconds() as f64 * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_schedule_is_seeded_sorted_and_rate_calibrated() {
+        let a = ArrivalSchedule::open_loop(2000, 500.0, 16, 3, 9);
+        let b = ArrivalSchedule::open_loop(2000, 500.0, 16, 3, 9);
+        assert_eq!(a.requests, b.requests, "same seed, same schedule");
+        let c = ArrivalSchedule::open_loop(2000, 500.0, 16, 3, 10);
+        assert_ne!(a.requests, c.requests, "seed must matter");
+        assert!(a
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_us <= w[1].arrival_us));
+        // 2000 arrivals at 500 QPS should span ~4 s of virtual time.
+        let span_s = a.span_us() / 1e6;
+        assert!((3.0..5.0).contains(&span_s), "span {span_s:.2}s");
+        assert!(a.requests.iter().any(|r| r.tenant == 2));
+        assert!(a.requests.iter().all(|r| r.tenant < 3 && r.query < 16));
+    }
+
+    #[test]
+    fn burst_schedule_arrives_all_at_once() {
+        let s = ArrivalSchedule::burst(5, 2);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.span_us(), 0.0);
+        assert!(s.requests.iter().all(|r| r.arrival_us == 0.0));
+    }
+
+    #[test]
+    fn cost_model_charges_counters_and_modeled_waits() {
+        let cost = CostModel {
+            fixed_us: 1.0,
+            per_dist_us: 0.5,
+            per_hop_us: 2.0,
+        };
+        let stats = ShardQueryStats {
+            hops: 3,
+            dist_comps: 10,
+            io_stall_seconds: 1e-6,
+            io_queue_seconds: 2e-6,
+            ..Default::default()
+        };
+        // 1 + 0.5*10 + 2*3 + 3 = 15 (f32 stats, so micro-µs slack)
+        assert!((cost.service_us(&stats) - 15.0).abs() < 1e-4);
+    }
+}

@@ -16,15 +16,29 @@
 //! pin this down by checking sharded == unsharded results at exhaustive
 //! beam widths.
 
+pub mod admission;
+pub mod balance;
+pub mod cluster;
 pub mod engine;
+pub mod fault;
+pub mod loadgen;
 pub mod metrics;
 pub mod pool;
 
+pub use admission::{AdmissionConfig, RejectReason, TokenBucketConfig};
+pub use balance::LoadBalancePolicy;
+pub use cluster::{
+    ClusterEngine, ClusterGroup, ClusterHandle, ClusterIndex, ClusterReport, Replica, ReplicaSet,
+    RequestOutcome, TenantTally,
+};
 pub use engine::{BatchReport, ServeConfig, ServeEngine};
+pub use fault::{FlakyBackend, ReplicaFault};
+pub use loadgen::{ArrivalSchedule, CostModel, Request};
 pub use metrics::{LatencyRecorder, LatencySummary};
 pub use pool::{default_workers, WorkerPool};
 
 use std::io;
+use std::sync::Arc;
 
 use rpq_data::Dataset;
 use rpq_graph::{Neighbor, ProximityGraph, SearchScratch};
@@ -130,6 +144,38 @@ pub trait MutableShardBackend: ShardBackend {
 
     /// Fraction of resident points that are tombstoned.
     fn tombstone_fraction(&self) -> f32;
+
+    /// A deep copy of this backend for replication (DESIGN.md §11.1): the
+    /// fork must be bit-identical — same graph, codes, and tombstones — so
+    /// that replicas created from it answer queries identically and stay
+    /// identical as long as they apply the same writes in the same order.
+    fn fork_local(&self) -> Box<dyn MutableShardBackend>;
+
+    /// The stored vector behind a local id, tombstoned slots included —
+    /// what live reconfiguration reads when a point moves to another shard.
+    fn vector_local(&self, local_id: u32) -> &[f32];
+}
+
+/// Frozen backends can be shared between replicas by reference counting:
+/// one built index, N replicas pointing at it (DESIGN.md §11.1).
+impl<T: ShardBackend + ?Sized> ShardBackend for Arc<T> {
+    fn search_local(
+        &self,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        (**self).search_local(query, ef, k, scratch)
+    }
+
+    fn shard_len(&self) -> usize {
+        (**self).shard_len()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        (**self).resident_bytes()
+    }
 }
 
 impl<C: VectorCompressor> ShardBackend for StreamingIndex<C> {
@@ -160,7 +206,7 @@ impl<C: VectorCompressor> ShardBackend for StreamingIndex<C> {
     }
 }
 
-impl<C: VectorCompressor> MutableShardBackend for StreamingIndex<C> {
+impl<C: VectorCompressor + Clone + 'static> MutableShardBackend for StreamingIndex<C> {
     fn insert_local(&mut self, v: &[f32], scratch: &mut SearchScratch) -> u32 {
         self.insert(v, scratch)
     }
@@ -179,6 +225,14 @@ impl<C: VectorCompressor> MutableShardBackend for StreamingIndex<C> {
 
     fn tombstone_fraction(&self) -> f32 {
         StreamingIndex::tombstone_fraction(self)
+    }
+
+    fn fork_local(&self) -> Box<dyn MutableShardBackend> {
+        Box::new(self.clone())
+    }
+
+    fn vector_local(&self, local_id: u32) -> &[f32] {
+        self.vectors().get(local_id as usize)
     }
 }
 

@@ -187,21 +187,78 @@ pub fn simulate_open_load(model: &SsdModel, per_request_us: &[f32], qps: f32) ->
     }
 }
 
+/// A busy-until horizon over an arbitrary time base: the primitive under
+/// both [`SsdClock`] (wall-clock arrivals) and the serving cluster's
+/// per-replica timelines (virtual arrivals from an open-loop schedule,
+/// DESIGN.md §11). A reservation of `service_us` starts at
+/// `max(now, busy_until)` and the returned wait is `start − now`; because
+/// `now` is supplied by the caller, a schedule of arrivals produces
+/// bit-reproducible waits on any machine.
+pub struct VirtualClock {
+    /// Busy-until horizon in nanoseconds on the caller's time base.
+    busy_until_ns: AtomicU64,
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VirtualClock {
+    pub fn new() -> Self {
+        Self {
+            busy_until_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserves `service_us` of occupancy starting no earlier than
+    /// `now_us`; returns the queue wait in µs (0 when idle).
+    pub fn reserve_at(&self, now_us: f64, service_us: f64) -> f64 {
+        let now_ns = (now_us.max(0.0) * 1e3) as u64;
+        let add_ns = (service_us.max(0.0) * 1e3) as u64;
+        let mut busy = self.busy_until_ns.load(Ordering::Relaxed);
+        loop {
+            let start = busy.max(now_ns);
+            match self.busy_until_ns.compare_exchange_weak(
+                busy,
+                start + add_ns,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return (start - now_ns) as f64 / 1e3,
+                Err(actual) => busy = actual,
+            }
+        }
+    }
+
+    /// Backlog still queued at `now_us`: `max(busy_until − now, 0)` in µs.
+    /// What the queue-aware load balancer ranks replicas by.
+    pub fn backlog_us(&self, now_us: f64) -> f64 {
+        let now_ns = (now_us.max(0.0) * 1e3) as u64;
+        let busy = self.busy_until_ns.load(Ordering::Relaxed);
+        busy.saturating_sub(now_ns) as f64 / 1e3
+    }
+
+    /// Clears the horizon so independent measurement runs don't observe
+    /// each other's backlog.
+    pub fn reset(&self) {
+        self.busy_until_ns.store(0, Ordering::Relaxed);
+    }
+}
+
 /// A shared virtual device timeline for concurrent serving: every disk
 /// shard of a [`crate::serve::ShardedIndex`] reserves its batch occupancy
 /// on one clock, so queries arriving while the device is busy observe
 /// queue wait — the mechanism behind p99 saturation under offered load
 /// beyond [`SsdModel::max_iops`].
 ///
-/// The timeline is a single busy-until horizon advanced by CAS: a
-/// reservation of `device_us` starts at `max(now, busy_until)` and the
-/// returned wait is `start − now`. Arrival times come from a real
-/// monotonic clock (concurrency decides interleaving), but the *cost*
-/// added per reservation is fully modeled.
+/// The timeline is a [`VirtualClock`] driven by a real monotonic clock:
+/// arrival times come from `Instant` (concurrency decides interleaving),
+/// but the *cost* added per reservation is fully modeled.
 pub struct SsdClock {
     epoch: Instant,
-    /// Busy-until horizon in nanoseconds since `epoch`.
-    busy_until_ns: AtomicU64,
+    timeline: VirtualClock,
 }
 
 impl Default for SsdClock {
@@ -214,28 +271,15 @@ impl SsdClock {
     pub fn new() -> Self {
         Self {
             epoch: Instant::now(),
-            busy_until_ns: AtomicU64::new(0),
+            timeline: VirtualClock::new(),
         }
     }
 
     /// Reserves `device_us` of device occupancy starting no earlier than
     /// now; returns the queue wait in µs (0 when the device is idle).
     pub fn reserve(&self, device_us: f32) -> f32 {
-        let now_ns = self.epoch.elapsed().as_nanos() as u64;
-        let add_ns = (device_us.max(0.0) * 1e3) as u64;
-        let mut busy = self.busy_until_ns.load(Ordering::Relaxed);
-        loop {
-            let start = busy.max(now_ns);
-            match self.busy_until_ns.compare_exchange_weak(
-                busy,
-                start + add_ns,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return (start - now_ns) as f32 / 1e3,
-                Err(actual) => busy = actual,
-            }
-        }
+        let now_us = self.epoch.elapsed().as_nanos() as f64 / 1e3;
+        self.timeline.reserve_at(now_us, device_us as f64) as f32
     }
 }
 

@@ -111,6 +111,7 @@ pub struct ConsolidateReport {
 /// assert!(top.iter().all(|n| n.id != 3), "tombstoned point returned");
 /// assert_eq!(id, 120);
 /// ```
+#[derive(Clone)]
 pub struct StreamingIndex<C: VectorCompressor> {
     compressor: C,
     graph: DynamicGraph,

@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use rpq_bench::experiments::{
-    ablation, artifacts, curves, diskio, hotpath, sensitivity, serve, streaming, threads,
+    ablation, artifacts, cluster, curves, diskio, hotpath, sensitivity, serve, streaming, threads,
 };
 use rpq_bench::Scale;
 
@@ -36,6 +36,7 @@ const ALL: &[&str] = &[
     "threads",
     "hotpath",
     "diskio",
+    "cluster",
 ];
 
 fn main() {
@@ -94,6 +95,7 @@ fn main() {
             "threads" => threads::threads(&scale).print(),
             "hotpath" => hotpath::hotpath(&scale).print(),
             "diskio" => diskio::diskio(&scale).print(),
+            "cluster" => cluster::cluster(&scale).print(),
             _ => unreachable!(),
         }
         eprintln!("[{id}] done in {:.1}s", start.elapsed().as_secs_f32());

@@ -1,0 +1,204 @@
+//! The `cluster` experiment: goodput, tail latency, and shed fraction vs
+//! offered load at 1/2/4 replicas (DESIGN.md §11.6 — no paper
+//! counterpart; this measures the repo's replicated serving layer).
+//!
+//! Open-loop methodology (§11.4): a fixed Poisson arrival schedule is
+//! replayed against the cluster in virtual time — requests keep arriving
+//! whether or not the system keeps up, which is what makes overload
+//! visible at all. Service times come from a [`CostModel`] calibrated
+//! against a wall-clock probe of this machine, and queue waits from the
+//! per-replica virtual device timelines, so the curves are deterministic
+//! for a given seed and honest about queueing physics on a 1-core
+//! container.
+//!
+//! Offered loads are expressed as fractions of the measured
+//! single-replica capacity and held **absolute** across replica counts,
+//! so "2 replicas ≥ 1 replica goodput at equal offered load" (the CI
+//! gate) compares like with like.
+
+use serde::Serialize;
+
+use rpq_anns::serve::{
+    AdmissionConfig, ArrivalSchedule, ClusterEngine, ClusterIndex, CostModel, LoadBalancePolicy,
+};
+use rpq_data::synth::DatasetKind;
+use rpq_graph::HnswConfig;
+use rpq_quant::{PqConfig, ProductQuantizer};
+
+use crate::report::{fmt, write_json, Report};
+use crate::scale::Scale;
+use crate::setup::make_bench;
+
+/// One (replica count, offered load) operating point.
+#[derive(Serialize, Clone, Debug)]
+pub struct ClusterPoint {
+    pub replicas: usize,
+    pub shards: usize,
+    pub ef: usize,
+    /// Offered load as a fraction of single-replica capacity.
+    pub load_frac: f32,
+    pub offered_qps: f32,
+    pub goodput_qps: f32,
+    pub offered: usize,
+    pub admitted: usize,
+    pub completed: usize,
+    pub shed: usize,
+    pub shed_fraction: f32,
+    pub p50_us: f32,
+    pub p99_us: f32,
+}
+
+/// Shards in the cluster (partitions; the experiment's axis is replicas).
+const N_SHARDS: usize = 2;
+
+/// **cluster**: goodput + p99 vs offered load at 1/2/4 replicas, with the
+/// shed fraction past saturation.
+pub fn cluster(scale: &Scale) -> Report {
+    let mut report = Report::new(
+        "cluster",
+        "Replicated serving: goodput and shed fraction vs offered load",
+        &scale.label(),
+        &[
+            "Replicas",
+            "Load frac",
+            "Offered QPS",
+            "Goodput QPS",
+            "Shed %",
+            "p50 µs",
+            "p99 µs",
+        ],
+    );
+    let bench = make_bench(
+        DatasetKind::Sift,
+        scale.n_base,
+        scale.n_query,
+        scale.k,
+        scale.seed,
+    );
+    let pq = ProductQuantizer::train(
+        &PqConfig {
+            m: scale.m,
+            k: scale.kk,
+            seed: scale.seed,
+            ..Default::default()
+        },
+        &bench.base,
+    );
+    let seed = scale.seed;
+    let ef = scale.efs[scale.efs.len() / 2];
+    let mk_engine = |replicas: usize, cost: CostModel| {
+        let index = ClusterIndex::build_in_memory(
+            &pq,
+            &bench.base,
+            N_SHARDS,
+            replicas,
+            LoadBalancePolicy::QueueAware,
+            |part| {
+                HnswConfig {
+                    m: 16,
+                    ef_construction: 100,
+                    seed,
+                }
+                .build(part)
+            },
+        );
+        ClusterEngine::new(
+            index,
+            AdmissionConfig {
+                queue_cap: scale.cluster_queue_cap,
+                ..Default::default()
+            },
+            cost,
+        )
+    };
+
+    // Calibrate the cost model against this machine: time an unloaded
+    // probe run and spread its wall time over the distance evaluations it
+    // did. The virtual curves stay deterministic per seed; calibration
+    // only anchors their absolute scale to real hardware.
+    let probe_engine = mk_engine(1, CostModel::default());
+    let probe = ArrivalSchedule::open_loop(128, 1.0, bench.queries.len(), 1, seed);
+    let (_, probe_report) = probe_engine.serve_open_loop(&bench.queries, &probe, ef, scale.k);
+    let per_dist_us = (probe_report.wall_seconds * 1e6
+        / (probe_report.mean_dist_comps * probe_report.completed as f32).max(1.0))
+    .clamp(0.001, 1.0);
+    let cost = CostModel {
+        fixed_us: 1.0,
+        per_dist_us,
+        per_hop_us: 0.0,
+    };
+
+    // Single-replica capacity: the unloaded mean virtual latency is the
+    // slowest group's service time, and each replica set drains one
+    // request per bottleneck-service-time.
+    let capacity_engine = mk_engine(1, cost);
+    let (_, unloaded) = capacity_engine.serve_open_loop(&bench.queries, &probe, ef, scale.k);
+    let capacity_qps = 1e6 / unloaded.latency.mean_us.max(1e-3) as f64;
+
+    let mut points = Vec::new();
+    for &replicas in &scale.cluster_replicas {
+        let engine = mk_engine(replicas, cost);
+        for (li, &load_frac) in scale.cluster_load_fracs.iter().enumerate() {
+            let offered_qps = load_frac as f64 * capacity_qps;
+            let schedule = ArrivalSchedule::open_loop(
+                scale.cluster_requests,
+                offered_qps,
+                bench.queries.len(),
+                1,
+                // One schedule per load point, shared across replica
+                // counts so the comparison is paired.
+                seed + 100 + li as u64,
+            );
+            let (_, run) = engine.serve_open_loop(&bench.queries, &schedule, ef, scale.k);
+            assert_eq!(
+                run.completed + run.shed,
+                run.offered,
+                "admission accounting must conserve requests"
+            );
+            let point = ClusterPoint {
+                replicas,
+                shards: N_SHARDS,
+                ef,
+                load_frac,
+                offered_qps: run.offered_qps,
+                goodput_qps: run.goodput_qps,
+                offered: run.offered,
+                admitted: run.admitted,
+                completed: run.completed,
+                shed: run.shed,
+                shed_fraction: run.shed as f32 / run.offered.max(1) as f32,
+                p50_us: run.latency.p50_us,
+                p99_us: run.latency.p99_us,
+            };
+            report.push_row(vec![
+                point.replicas.to_string(),
+                fmt(point.load_frac),
+                fmt(point.offered_qps),
+                fmt(point.goodput_qps),
+                fmt(point.shed_fraction * 100.0),
+                fmt(point.p50_us),
+                fmt(point.p99_us),
+            ]);
+            points.push(point);
+        }
+    }
+    write_json("cluster", &points);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_fracs_span_under_and_over_load_at_every_preset() {
+        for scale in [Scale::ci(), Scale::small(), Scale::full()] {
+            assert!(scale.cluster_load_fracs.len() >= 3);
+            assert!(scale.cluster_load_fracs.iter().any(|&f| f < 1.0));
+            assert!(scale.cluster_load_fracs.iter().any(|&f| f > 1.5));
+            assert!(scale.cluster_replicas.contains(&1));
+            assert!(scale.cluster_replicas.contains(&2));
+            assert!(scale.cluster_queue_cap >= 1);
+        }
+    }
+}

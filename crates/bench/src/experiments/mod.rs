@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod artifacts;
+pub mod cluster;
 pub mod curves;
 pub mod diskio;
 pub mod hotpath;

@@ -32,6 +32,15 @@ pub struct Scale {
     /// below observed values with margin for the ADC quantization ceiling
     /// at each preset's K.
     pub streaming_recall_floor: f32,
+    /// Replica counts swept by the `cluster` experiment (DESIGN.md §11).
+    pub cluster_replicas: Vec<usize>,
+    /// Offered load as fractions of single-replica capacity; must span
+    /// under- and over-load so the shed curve has both tails.
+    pub cluster_load_fracs: Vec<f32>,
+    /// Requests per open-loop run of the `cluster` experiment.
+    pub cluster_requests: usize,
+    /// Admission queue bound of the `cluster` experiment.
+    pub cluster_queue_cap: usize,
     /// RPQ training epochs / steps per epoch for experiment runs.
     pub rpq_epochs: usize,
     pub rpq_steps: usize,
@@ -53,6 +62,10 @@ impl Scale {
             shard_counts: vec![1, 2],
             streaming_rounds: 4,
             streaming_recall_floor: 0.5,
+            cluster_replicas: vec![1, 2],
+            cluster_load_fracs: vec![0.6, 1.2, 2.5],
+            cluster_requests: 1200,
+            cluster_queue_cap: 32,
             rpq_epochs: 2,
             rpq_steps: 8,
             seed: 42,
@@ -78,6 +91,10 @@ impl Scale {
             shard_counts: vec![1, 2, 4],
             streaming_rounds: 6,
             streaming_recall_floor: 0.5,
+            cluster_replicas: vec![1, 2, 4],
+            cluster_load_fracs: vec![0.5, 1.0, 2.0, 4.0],
+            cluster_requests: 4000,
+            cluster_queue_cap: 64,
             rpq_epochs: 3,
             rpq_steps: 15,
             seed: 42,
@@ -97,6 +114,10 @@ impl Scale {
             shard_counts: vec![1, 2, 4, 8],
             streaming_rounds: 8,
             streaming_recall_floor: 0.55,
+            cluster_replicas: vec![1, 2, 4],
+            cluster_load_fracs: vec![0.5, 1.0, 2.0, 4.0],
+            cluster_requests: 12_000,
+            cluster_queue_cap: 128,
             rpq_epochs: 4,
             rpq_steps: 25,
             seed: 42,

@@ -7,7 +7,10 @@
 //! The vendored rayon's `with_num_threads` pins the pool width for a
 //! scope on the calling thread, so both widths run inside one process.
 
-use rpq_anns::serve::ShardedIndex;
+use rpq_anns::serve::{
+    AdmissionConfig, ArrivalSchedule, ClusterEngine, ClusterIndex, CostModel, LoadBalancePolicy,
+    RejectReason, RequestOutcome, ShardedIndex, TokenBucketConfig,
+};
 use rpq_anns::stream::{StreamingConfig, StreamingIndex};
 use rpq_anns::{sweep_memory, InMemoryIndex};
 use rpq_data::synth::{SynthConfig, ValueTransform};
@@ -257,6 +260,89 @@ fn streaming_lifecycle_is_thread_invariant() {
     assert!(!survivors.is_empty());
     assert_eq!(ids.len(), queries.len());
     assert!(ids.iter().all(|l| !l.is_empty()));
+}
+
+#[test]
+fn cluster_serving_with_rebalance_is_thread_invariant() {
+    // The whole serving control plane on the virtual clock — replicated
+    // reads, admission (queue + deadline + quota), and a live rebalance
+    // between two open-loop runs — must be bit-identical at every pool
+    // width. This is what licenses the cluster experiment's goodput and
+    // p99 numbers on any machine.
+    let data = ci_data(360, 23);
+    let (base, queries) = data.split_at(320);
+    let cfg = StreamingConfig {
+        r: 8,
+        l: 16,
+        ..Default::default()
+    };
+
+    type Encoded = Vec<(u8, Vec<(u32, u32)>, u32)>;
+    let encode = |outcomes: &[RequestOutcome]| -> Encoded {
+        outcomes
+            .iter()
+            .map(|o| match o {
+                RequestOutcome::Completed {
+                    neighbors,
+                    latency_us,
+                } => (
+                    u8::MAX,
+                    neighbors.iter().map(|n| (n.id, n.dist.to_bits())).collect(),
+                    latency_us.to_bits(),
+                ),
+                RequestOutcome::Rejected { reason } => (
+                    match reason {
+                        RejectReason::QueueFull => 0,
+                        RejectReason::DeadlineExceeded => 1,
+                        RejectReason::QuotaExceeded => 2,
+                        RejectReason::ShardUnavailable => 3,
+                    },
+                    Vec::new(),
+                    0,
+                ),
+            })
+            .collect()
+    };
+
+    let (before, after) = assert_thread_invariant("cluster open-loop with rebalance", || {
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let cluster =
+            ClusterIndex::build_streaming(&pq, &base, 2, 2, LoadBalancePolicy::QueueAware, cfg);
+        let engine = ClusterEngine::new(
+            cluster,
+            AdmissionConfig {
+                queue_cap: 8,
+                deadline_us: Some(5_000.0),
+                quota: Some(TokenBucketConfig {
+                    rate_per_sec: 2_000.0,
+                    burst: 4.0,
+                }),
+            },
+            CostModel::default(),
+        );
+        let schedule = ArrivalSchedule::open_loop(200, 4_000.0, queries.len(), 2, 77);
+        let (before, _) = engine.serve_open_loop(&queries, &schedule, 40, 10);
+        // A membership change between runs: third shard joins, replicas
+        // grow — the rebalance itself must be thread-invariant too.
+        engine.reconfigure(|c| {
+            let mut scratch = SearchScratch::new();
+            c.add_shard(Box::new(StreamingIndex::new(pq.clone(), cfg)), &mut scratch);
+            c.set_replicas(3);
+        });
+        let (after, _) = engine.serve_open_loop(&queries, &schedule, 40, 10);
+        (encode(&before), encode(&after))
+    });
+    assert_eq!(before.len(), 200);
+    assert_eq!(after.len(), 200);
+    assert!(before.iter().any(|(tag, ..)| *tag == u8::MAX));
+    assert!(after.iter().any(|(tag, ..)| *tag == u8::MAX));
 }
 
 #[test]

@@ -209,6 +209,57 @@ fn tombstoned_points_never_appear_in_sharded_results() {
 }
 
 #[test]
+fn examples_and_experiments_route_workers_through_serve_config_defaults() {
+    // Audit (DESIGN.md §11): user-facing code must not hardcode a worker
+    // count — `ServeConfig::default()` routes through `default_workers()`,
+    // which respects RPQ_THREADS and the machine's cores. A literal like
+    // `workers: 4` in an example silently pins benchmarks to the author's
+    // laptop, so this test greps for it.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut offenders = Vec::new();
+    let mut audited = 0usize;
+    let mut stack = vec![root.join("examples"), root.join("crates/bench/src")];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("audit dir must exist") {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            if path.extension().is_none_or(|e| e != "rs") {
+                continue;
+            }
+            audited += 1;
+            let text = std::fs::read_to_string(&path).unwrap();
+            for (ln, line) in text.lines().enumerate() {
+                let Some(pos) = line.find("workers:") else {
+                    continue;
+                };
+                let rest = line[pos + "workers:".len()..].trim_start();
+                if rest.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                    offenders.push(format!("{}:{}: {}", path.display(), ln + 1, line.trim()));
+                }
+            }
+        }
+    }
+    assert!(audited > 5, "audit scanned too few files ({audited})");
+    assert!(
+        offenders.is_empty(),
+        "hardcoded worker counts found — route through ServeConfig::default():\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn serve_config_default_workers_respect_the_environment() {
+    // The default every example and experiment inherits: worker count
+    // comes from `default_workers()` (RPQ_THREADS-aware), never a literal.
+    let cfg = ServeConfig::default();
+    assert_eq!(cfg.workers, rpq_anns::serve::default_workers());
+    assert!(cfg.workers >= 1);
+}
+
+#[test]
 fn shard_merge_matches_brute_force_over_the_partition() {
     // Merge correctness at the system level: for every query, the union of
     // exhaustive per-shard results merged to top-k equals the exact ADC
