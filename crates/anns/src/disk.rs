@@ -35,12 +35,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use rpq_data::Dataset;
+use rpq_data::{Dataset, LabelPredicate, Labels};
 use rpq_graph::{Frontier, Neighbor, ProximityGraph, SearchScratch};
 use rpq_linalg::distance::sq_l2;
 use rpq_quant::{CompactCodes, SoaCodes, VectorCompressor};
 
 use crate::cache::{CacheStats, NodeCache};
+use crate::filter::FilterStrategy;
 use crate::ssd::{SsdClock, SsdModel};
 
 #[cfg(unix)]
@@ -361,6 +362,9 @@ pub struct DiskIndex<C: VectorCompressor> {
     cache: Option<NodeCache>,
     /// Shared device timeline for concurrent serving (queue wait).
     clock: Option<Arc<SsdClock>>,
+    /// Per-vector label sets for filtered search (DESIGN.md §12); labels
+    /// live in RAM next to the codes — one u32 per vector.
+    labels: Option<Labels>,
     cfg: DiskIndexConfig,
 }
 
@@ -387,8 +391,21 @@ impl<C: VectorCompressor> DiskIndex<C> {
             entry: graph.entry(),
             cache,
             clock: None,
+            labels: None,
             cfg,
         })
+    }
+
+    /// Attaches per-vector labels, enabling [`DiskIndex::search_filtered`].
+    /// Labels stay resident (one `u32` per vector, next to the codes).
+    pub fn set_labels(&mut self, labels: Labels) {
+        assert_eq!(labels.len(), self.store.n, "labels/index size mismatch");
+        self.labels = Some(labels);
+    }
+
+    /// The attached labels, if any.
+    pub fn labels(&self) -> Option<&Labels> {
+        self.labels.as_ref()
     }
 
     /// Number of indexed vectors.
@@ -412,6 +429,7 @@ impl<C: VectorCompressor> DiskIndex<C> {
                 .as_ref()
                 .map(NodeCache::memory_bytes)
                 .unwrap_or(0)
+            + self.labels.as_ref().map_or(0, Labels::memory_bytes)
     }
 
     /// Cache hit/miss counters (zeros when the cache is disabled).
@@ -460,7 +478,7 @@ impl<C: VectorCompressor> DiskIndex<C> {
         let mut scratch = SearchScratch::with_capacity(self.store.n);
         let k = ef.clamp(1, 10);
         for q in queries.iter() {
-            let _ = self.search_impl(q, ef, k, &mut scratch, Some(&mut counts));
+            let _ = self.search_impl(q, ef, k, &mut scratch, Some(&mut counts), None);
         }
         let mut ranked: Vec<(u64, u32)> = counts
             .iter()
@@ -510,7 +528,43 @@ impl<C: VectorCompressor> DiskIndex<C> {
         k: usize,
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, DiskSearchStats) {
-        self.search_impl(query, ef, k, scratch, None)
+        self.search_impl(query, ef, k, scratch, None, None)
+    }
+
+    /// DiskANN beam search restricted to vectors satisfying `pred`
+    /// (DESIGN.md §12). [`FilterStrategy::DuringTraversal`] mirrors the
+    /// in-memory dual-heap kernel: the unfiltered pool still drives
+    /// admission and termination (routing survives low selectivity) while
+    /// a second bounded heap collects matches, which then rerank as usual.
+    /// [`FilterStrategy::PostFilter`] searches unfiltered at an inflated
+    /// `ef` and filters the reranked results. Panics unless labels were
+    /// attached with [`DiskIndex::set_labels`].
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, DiskSearchStats) {
+        let labels = self
+            .labels
+            .as_ref()
+            .expect("search_filtered requires labels (DiskIndex::set_labels)");
+        match strategy {
+            FilterStrategy::DuringTraversal => {
+                let accept = labels.accept_fn(pred);
+                self.search_impl(query, ef, k, scratch, None, Some(&accept))
+            }
+            FilterStrategy::PostFilter { .. } => {
+                let big_ef = strategy.inflated_ef(ef);
+                let (mut res, stats) = self.search_impl(query, big_ef, big_ef, scratch, None, None);
+                res.retain(|n| labels.matches(n.id as usize, pred));
+                res.truncate(k);
+                (res, stats)
+            }
+        }
     }
 
     fn search_impl(
@@ -520,6 +574,7 @@ impl<C: VectorCompressor> DiskIndex<C> {
         k: usize,
         scratch: &mut SearchScratch,
         mut trace: Option<&mut Vec<u64>>,
+        accept: Option<&dyn Fn(u32) -> bool>,
     ) -> (Vec<Neighbor>, DiskSearchStats) {
         use std::collections::BinaryHeap;
 
@@ -542,6 +597,16 @@ impl<C: VectorCompressor> DiskIndex<C> {
         let mut pool: BinaryHeap<Pooled> = BinaryHeap::with_capacity(ef + 1);
         frontier.push(d0, entry);
         pool.push(Pooled(d0, entry));
+        // Filtered traversal keeps a second bounded heap of matches — the
+        // disk-engine twin of `beam_search_filtered`'s accepted heap. The
+        // unfiltered pool is untouched, so routing (and the unfiltered
+        // path's bit-identity to the serial oracle) is unaffected.
+        let mut accepted: BinaryHeap<Pooled> = BinaryHeap::new();
+        if let Some(acc) = accept {
+            if acc(entry) {
+                accepted.push(Pooled(d0, entry));
+            }
+        }
 
         let mut batch = BatchRead::default();
         let mut miss_ids: Vec<u32> = Vec::new();
@@ -635,6 +700,17 @@ impl<C: VectorCompressor> DiskIndex<C> {
                             pool.pop();
                         }
                     }
+                    if let Some(acc) = accept {
+                        if acc(u) {
+                            let worst_a = accepted.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
+                            if accepted.len() < ef || du < worst_a {
+                                accepted.push(Pooled(du, u));
+                                if accepted.len() > ef {
+                                    accepted.pop();
+                                }
+                            }
+                        }
+                    }
                 }
             }
             let stage_compute = t0.elapsed().as_secs_f32();
@@ -655,8 +731,12 @@ impl<C: VectorCompressor> DiskIndex<C> {
 
         // Final rerank: top candidates by ADC get exact distances; those
         // not fetched during routing cost extra (batched, coalesced,
-        // separately counted) reads.
-        let mut candidates: Vec<(f32, u32)> = pool.into_iter().map(|Pooled(d, v)| (d, v)).collect();
+        // separately counted) reads. Filtered traversal reranks the
+        // accepted heap instead — matches that routed past without
+        // expansion get fetched here.
+        let result_pool = if accept.is_some() { accepted } else { pool };
+        let mut candidates: Vec<(f32, u32)> =
+            result_pool.into_iter().map(|Pooled(d, v)| (d, v)).collect();
         candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         candidates.truncate(self.cfg.rerank.max(k));
         miss_ids.clear();
@@ -1216,6 +1296,54 @@ mod tests {
             hits > 0,
             "a frequency-admitted cache must hit on like-distributed traffic"
         );
+    }
+
+    #[test]
+    fn filtered_search_returns_only_matching_and_reranks_exactly() {
+        let (mut index, base, queries) = build_index(600, 16, "filtered");
+        let labels = Labels::from_masks(2, (0..base.len()).map(|i| 1 << (i % 2)).collect());
+        index.set_labels(labels.clone());
+        let pred = LabelPredicate::single(0);
+        let mut scratch = SearchScratch::with_capacity(base.len());
+        for strategy in [
+            FilterStrategy::DuringTraversal,
+            FilterStrategy::PostFilter { inflation: 4 },
+        ] {
+            for q in queries.iter() {
+                let (res, stats) = index.search_filtered(q, pred, strategy, 40, 10, &mut scratch);
+                assert!(!res.is_empty(), "{strategy:?} returned nothing");
+                assert!(stats.io_reads > 0);
+                for n in &res {
+                    assert!(
+                        labels.matches(n.id as usize, pred),
+                        "{strategy:?} returned non-matching id {}",
+                        n.id
+                    );
+                    // Reranked: reported distances are exact.
+                    let expect = sq_l2(q, base.get(n.id as usize));
+                    assert!((n.dist - expect).abs() < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_with_all_matching_equals_unfiltered() {
+        let (mut index, base, queries) = build_index(400, 17, "filtered-all");
+        index.set_labels(Labels::from_masks(1, vec![1; base.len()]));
+        let mut scratch = SearchScratch::with_capacity(base.len());
+        for q in queries.iter() {
+            let (plain, _) = index.search_with_scratch(q, 40, 10, &mut scratch);
+            let (filtered, _) = index.search_filtered(
+                q,
+                LabelPredicate::single(0),
+                FilterStrategy::DuringTraversal,
+                40,
+                10,
+                &mut scratch,
+            );
+            assert_bit_identical(&plain, &filtered, "all-matching filter");
+        }
     }
 
     #[test]

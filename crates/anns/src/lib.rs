@@ -31,6 +31,7 @@
 
 pub mod cache;
 pub mod disk;
+pub mod filter;
 pub mod harness;
 pub mod memory;
 pub mod serve;
@@ -39,6 +40,7 @@ pub mod stream;
 
 pub use cache::{CacheStats, NodeCache};
 pub use disk::{DiskIndex, DiskIndexConfig, DiskSearchStats};
+pub use filter::FilterStrategy;
 pub use harness::{hybrid_qps, qps_at_recall, sweep_disk, sweep_memory, SweepPoint};
 pub use memory::InMemoryIndex;
 pub use serve::{

@@ -2,9 +2,14 @@
 //! RAM, original vectors discarded, routing and result ranking both driven
 //! purely by ADC distances.
 
-use rpq_data::Dataset;
-use rpq_graph::{beam_search, Neighbor, ProximityGraph, SearchScratch, SearchStats};
+use rpq_data::{Dataset, LabelPredicate, Labels};
+use rpq_graph::{
+    beam_search, beam_search_filtered, Neighbor, ProximityGraph, SearchScratch, SearchStats,
+    VertexFilter,
+};
 use rpq_quant::{CompactCodes, SoaCodes, VectorCompressor};
+
+use crate::filter::FilterStrategy;
 
 /// An in-memory PQ-integrated index over a proximity graph.
 ///
@@ -46,6 +51,9 @@ pub struct InMemoryIndex<C: VectorCompressor> {
     /// provides them.
     soa: SoaCodes,
     compressor: C,
+    /// Per-vector label sets for filtered search (DESIGN.md §12); absent
+    /// unless attached via [`InMemoryIndex::with_labels`].
+    labels: Option<Labels>,
 }
 
 impl<C: VectorCompressor> InMemoryIndex<C> {
@@ -62,7 +70,20 @@ impl<C: VectorCompressor> InMemoryIndex<C> {
             codes,
             soa,
             compressor,
+            labels: None,
         }
+    }
+
+    /// Attaches per-vector labels, enabling [`InMemoryIndex::search_filtered`].
+    pub fn with_labels(mut self, labels: Labels) -> Self {
+        assert_eq!(labels.len(), self.graph.len(), "labels/graph size mismatch");
+        self.labels = Some(labels);
+        self
+    }
+
+    /// The attached labels, if any.
+    pub fn labels(&self) -> Option<&Labels> {
+        self.labels.as_ref()
     }
 
     /// Beam search with ADC-only distances; returns top-`k` ids with their
@@ -84,6 +105,47 @@ impl<C: VectorCompressor> InMemoryIndex<C> {
         }
         let est = self.compressor.estimator(&self.codes, query);
         beam_search(&self.graph, &est, ef, k, scratch)
+    }
+
+    /// Beam search restricted to vectors satisfying `pred` (DESIGN.md §12).
+    ///
+    /// `strategy` selects how the predicate is pushed into the search:
+    /// [`FilterStrategy::DuringTraversal`] routes through non-matching
+    /// vertices but only admits matches to the result heap;
+    /// [`FilterStrategy::PostFilter`] searches unfiltered at an inflated
+    /// `ef` and filters the returned candidates. Panics unless labels were
+    /// attached with [`InMemoryIndex::with_labels`].
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let labels = self
+            .labels
+            .as_ref()
+            .expect("search_filtered requires labels (InMemoryIndex::with_labels)");
+        match strategy {
+            FilterStrategy::DuringTraversal => {
+                let accept = labels.accept_fn(pred);
+                let filter = VertexFilter::predicate(&accept);
+                if let Some(est) = self.compressor.batch_estimator(&self.soa, query) {
+                    return beam_search_filtered(&self.graph, &est, ef, k, scratch, filter);
+                }
+                let est = self.compressor.estimator(&self.codes, query);
+                beam_search_filtered(&self.graph, &est, ef, k, scratch, filter)
+            }
+            FilterStrategy::PostFilter { .. } => {
+                let big_ef = strategy.inflated_ef(ef);
+                let (mut res, stats) = self.search(query, big_ef, big_ef, scratch);
+                res.retain(|n| labels.matches(n.id as usize, pred));
+                res.truncate(k);
+                (res, stats)
+            }
+        }
     }
 
     /// The underlying graph.
@@ -120,6 +182,7 @@ impl<C: VectorCompressor> InMemoryIndex<C> {
             + self.codes.memory_bytes()
             + self.soa.memory_bytes()
             + self.compressor.model_bytes()
+            + self.labels.as_ref().map_or(0, |l| l.memory_bytes())
     }
 }
 
@@ -220,6 +283,74 @@ mod tests {
             resident * 2 < raw,
             "codes+model ({resident}) should be far below raw vectors ({raw})"
         );
+    }
+
+    #[test]
+    fn filtered_search_returns_only_matching_ids() {
+        let (base, queries) = setup(500, 6);
+        let graph = HnswConfig::default().build(&base);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 64,
+                ..Default::default()
+            },
+            &base,
+        );
+        // Alternate two labels over ids.
+        let labels =
+            rpq_data::Labels::from_masks(2, (0..base.len()).map(|i| 1 << (i % 2)).collect());
+        let index = InMemoryIndex::build(pq, &base, graph).with_labels(labels.clone());
+        let pred = rpq_data::LabelPredicate::single(1);
+        let mut scratch = SearchScratch::new();
+        for strategy in [
+            crate::filter::FilterStrategy::DuringTraversal,
+            crate::filter::FilterStrategy::PostFilter { inflation: 4 },
+        ] {
+            for q in queries.iter() {
+                let (res, _) = index.search_filtered(q, pred, strategy, 40, 10, &mut scratch);
+                assert!(!res.is_empty(), "{strategy:?} returned nothing");
+                for n in &res {
+                    assert!(
+                        labels.matches(n.id as usize, pred),
+                        "{strategy:?} returned non-matching id {}",
+                        n.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_search_with_all_predicate_matches_unfiltered() {
+        let (base, queries) = setup(400, 7);
+        let graph = HnswConfig::default().build(&base);
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 64,
+                ..Default::default()
+            },
+            &base,
+        );
+        let labels = rpq_data::Labels::from_masks(2, vec![1; base.len()]);
+        let index = InMemoryIndex::build(pq, &base, graph).with_labels(labels);
+        let pred = rpq_data::LabelPredicate::single(0);
+        let mut scratch = SearchScratch::new();
+        for q in queries.iter() {
+            let (plain, _) = index.search(q, 40, 10, &mut scratch);
+            let (filtered, _) = index.search_filtered(
+                q,
+                pred,
+                crate::filter::FilterStrategy::DuringTraversal,
+                40,
+                10,
+                &mut scratch,
+            );
+            let a: Vec<u32> = plain.iter().map(|n| n.id).collect();
+            let b: Vec<u32> = filtered.iter().map(|n| n.id).collect();
+            assert_eq!(a, b, "all-matching filter must not change results");
+        }
     }
 
     #[test]

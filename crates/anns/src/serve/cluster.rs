@@ -37,19 +37,20 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
-use rpq_data::Dataset;
+use rpq_data::{Dataset, LabelPredicate, Labels};
 use rpq_graph::{Neighbor, ProximityGraph, SearchScratch};
 use rpq_quant::VectorCompressor;
 
 use super::admission::{AdmissionConfig, AdmissionState, RejectReason};
 use super::balance::LoadBalancePolicy;
 use super::fault::{FlakyBackend, ReplicaFault};
-use super::loadgen::{ArrivalSchedule, CostModel};
+use super::loadgen::{ArrivalSchedule, CostModel, FilteredQuery};
 use super::metrics::LatencySummary;
 use super::{
     assert_shardable, merge_top_k, partition_round_robin, MutableShardBackend, ShardBackend,
     ShardQueryStats,
 };
+use crate::filter::FilterStrategy;
 use crate::memory::InMemoryIndex;
 use crate::ssd::VirtualClock;
 use crate::stream::{StreamingConfig, StreamingIndex};
@@ -72,17 +73,34 @@ pub enum ClusterHandle {
 
 impl ClusterHandle {
     /// The fallible read path: only [`ClusterHandle::Flaky`] ever fails.
+    /// A `Some(filter)` routes through the backend's filtered search
+    /// (same fault schedule — flaky backends burn one ticket per read,
+    /// filtered or not).
     fn try_search(
         &self,
         query: &[f32],
+        filter: Option<FilteredQuery>,
         ef: usize,
         k: usize,
         scratch: &mut SearchScratch,
     ) -> Result<(Vec<Neighbor>, ShardQueryStats), ReplicaFault> {
-        match self {
-            ClusterHandle::Frozen(b) => Ok(b.search_local(query, ef, k, scratch)),
-            ClusterHandle::Mutable(b) => Ok(b.search_local(query, ef, k, scratch)),
-            ClusterHandle::Flaky(b) => b.try_search_local(query, ef, k, scratch),
+        match filter {
+            None => match self {
+                ClusterHandle::Frozen(b) => Ok(b.search_local(query, ef, k, scratch)),
+                ClusterHandle::Mutable(b) => Ok(b.search_local(query, ef, k, scratch)),
+                ClusterHandle::Flaky(b) => b.try_search_local(query, ef, k, scratch),
+            },
+            Some(f) => match self {
+                ClusterHandle::Frozen(b) => {
+                    Ok(b.search_local_filtered(query, f.pred, f.strategy, ef, k, scratch))
+                }
+                ClusterHandle::Mutable(b) => {
+                    Ok(b.search_local_filtered(query, f.pred, f.strategy, ef, k, scratch))
+                }
+                ClusterHandle::Flaky(b) => {
+                    b.try_search_local_filtered(query, f.pred, f.strategy, ef, k, scratch)
+                }
+            },
         }
     }
 
@@ -268,6 +286,7 @@ impl ReplicaSet {
         &self,
         policy: LoadBalancePolicy,
         query: &[f32],
+        filter: Option<FilteredQuery>,
         ef: usize,
         k: usize,
         scratch: &mut SearchScratch,
@@ -276,7 +295,7 @@ impl ReplicaSet {
     ) -> Result<(Vec<Neighbor>, ShardQueryStats, f64), ReplicaFault> {
         for idx in self.order(policy, now_us) {
             let replica = &self.replicas[idx];
-            match replica.handle.try_search(query, ef, k, scratch) {
+            match replica.handle.try_search(query, filter, ef, k, scratch) {
                 Ok((res, stats)) => {
                     let service_us = cost.service_us(&stats);
                     let wait_us = replica.clock.reserve_at(now_us, service_us);
@@ -324,15 +343,16 @@ impl ReplicaSet {
     }
 
     /// Applies one insert to **every** replica (state-machine
-    /// replication); all must agree on the assigned local id.
-    fn insert_local(&mut self, v: &[f32], scratch: &mut SearchScratch) -> u32 {
+    /// replication); all must agree on the assigned local id. Mask 0 =
+    /// unlabeled (matches no predicate).
+    fn insert_local_labeled(&mut self, v: &[f32], mask: u32, scratch: &mut SearchScratch) -> u32 {
         let mut assigned = None;
         for replica in &mut self.replicas {
             let backend = replica
                 .handle
                 .mutable()
                 .expect("insert routed to a non-mutable replica");
-            let local = backend.insert_local(v, scratch);
+            let local = backend.insert_local_labeled(v, mask, scratch);
             match assigned {
                 None => assigned = Some(local),
                 Some(first) => assert_eq!(local, first, "replicas diverged on insert"),
@@ -488,6 +508,47 @@ impl ClusterIndex {
         Self::from_groups(groups, data.dim(), policy)
     }
 
+    /// [`ClusterIndex::build_in_memory`] with per-point label masks: each
+    /// group's backend carries the positional subset of `labels` its
+    /// points landed with, so [`ClusterIndex::search_filtered`] works on
+    /// every replica.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_in_memory_labeled<C>(
+        compressor: &C,
+        data: &Dataset,
+        labels: &Labels,
+        n_shards: usize,
+        replicas: usize,
+        policy: LoadBalancePolicy,
+        build_graph: impl Fn(&Dataset) -> ProximityGraph,
+    ) -> Self
+    where
+        C: VectorCompressor + Clone + 'static,
+    {
+        assert_shardable(data.len(), n_shards);
+        assert_eq!(labels.len(), data.len(), "labels/dataset size mismatch");
+        assert!(replicas >= 1, "need >= 1 replica");
+        let groups = partition_round_robin(data.len(), n_shards)
+            .into_iter()
+            .map(|ids| {
+                let local: Vec<usize> = ids.iter().map(|&g| g as usize).collect();
+                let part = data.subset(&local);
+                let graph = build_graph(&part);
+                let backend: Arc<dyn ShardBackend> = Arc::new(
+                    InMemoryIndex::build(compressor.clone(), &part, graph)
+                        .with_labels(labels.subset(&local)),
+                );
+                let set = ReplicaSet::new(
+                    (0..replicas)
+                        .map(|_| Replica::frozen(Arc::clone(&backend)))
+                        .collect(),
+                );
+                ClusterGroup::new(set, ids)
+            })
+            .collect();
+        Self::from_groups(groups, data.dim(), policy)
+    }
+
     /// Round-robin partitions `data` into `n_shards` **mutable** streaming
     /// groups of `replicas` forked replicas each — the configuration live
     /// reconfiguration needs.
@@ -510,6 +571,43 @@ impl ClusterIndex {
                 let local: Vec<usize> = ids.iter().map(|&g| g as usize).collect();
                 let part = data.subset(&local);
                 let index = StreamingIndex::build(compressor.clone(), &part, cfg);
+                let mut set = ReplicaSet::new(vec![Replica::mutable(Box::new(index))]);
+                set.set_replicas(replicas);
+                ClusterGroup::new(set, ids)
+            })
+            .collect();
+        Self::from_groups(groups, data.dim(), policy)
+    }
+
+    /// [`ClusterIndex::build_streaming`] with per-point label masks; the
+    /// labels follow the lock-step streaming lifecycle on every forked
+    /// replica (insert, tombstone, consolidate).
+    pub fn build_streaming_labeled<C>(
+        compressor: &C,
+        data: &Dataset,
+        labels: &Labels,
+        n_shards: usize,
+        replicas: usize,
+        policy: LoadBalancePolicy,
+        cfg: StreamingConfig,
+    ) -> Self
+    where
+        C: VectorCompressor + Clone + 'static,
+    {
+        assert_shardable(data.len(), n_shards);
+        assert_eq!(labels.len(), data.len(), "labels/dataset size mismatch");
+        assert!(replicas >= 1, "need >= 1 replica");
+        let groups = partition_round_robin(data.len(), n_shards)
+            .into_iter()
+            .map(|ids| {
+                let local: Vec<usize> = ids.iter().map(|&g| g as usize).collect();
+                let part = data.subset(&local);
+                let index = StreamingIndex::build_labeled(
+                    compressor.clone(),
+                    &part,
+                    labels.subset(&local),
+                    cfg,
+                );
                 let mut set = ReplicaSet::new(vec![Replica::mutable(Box::new(index))]);
                 set.set_replicas(replicas);
                 ClusterGroup::new(set, ids)
@@ -608,6 +706,41 @@ impl ClusterIndex {
         now_us: f64,
         cost: &CostModel,
     ) -> Result<(Vec<Neighbor>, ShardQueryStats, f64), RejectReason> {
+        self.search_at_opt(query, None, ef, k, scratch, now_us, cost)
+    }
+
+    /// [`ClusterIndex::search_at`] under a predicate: the same fan-out,
+    /// failover, merge, and virtual-time accounting, with every group's
+    /// chosen replica running its filtered search. The §7.3 exact-merge
+    /// contract holds per predicate — at exhaustive `ef` the merged top-k
+    /// matches a single filtered index id-for-id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_filtered_at(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+        now_us: f64,
+        cost: &CostModel,
+    ) -> Result<(Vec<Neighbor>, ShardQueryStats, f64), RejectReason> {
+        let filter = Some(FilteredQuery { pred, strategy });
+        self.search_at_opt(query, filter, ef, k, scratch, now_us, cost)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search_at_opt(
+        &self,
+        query: &[f32],
+        filter: Option<FilteredQuery>,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+        now_us: f64,
+        cost: &CostModel,
+    ) -> Result<(Vec<Neighbor>, ShardQueryStats, f64), RejectReason> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let mut partials = Vec::with_capacity(self.groups.len());
         let mut total = ShardQueryStats::default();
@@ -620,7 +753,7 @@ impl ClusterIndex {
             }
             let (mut res, stats, done) = group
                 .set
-                .search_at(self.policy, query, ef, k, scratch, now_us, cost)
+                .search_at(self.policy, query, filter, ef, k, scratch, now_us, cost)
                 .map_err(|ReplicaFault| RejectReason::ShardUnavailable)?;
             for n in &mut res {
                 n.id = group.global_ids[n.id as usize];
@@ -645,15 +778,45 @@ impl ClusterIndex {
             .map(|(res, stats, _)| (res, stats))
     }
 
+    /// One filtered read outside any schedule (virtual time 0, default
+    /// costs).
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<(Vec<Neighbor>, ShardQueryStats), RejectReason> {
+        self.search_filtered_at(
+            query,
+            pred,
+            strategy,
+            ef,
+            k,
+            scratch,
+            0.0,
+            &CostModel::default(),
+        )
+        .map(|(res, stats, _)| (res, stats))
+    }
+
     /// Inserts one vector, routing by `g % n_groups` and applying it to
     /// every replica of the target group. Returns the global id.
     pub fn insert(&mut self, v: &[f32], scratch: &mut SearchScratch) -> u32 {
+        self.insert_labeled(v, 0, scratch)
+    }
+
+    /// [`ClusterIndex::insert`] with a label mask (0 = unlabeled, matches
+    /// no predicate), replicated like any other write.
+    pub fn insert_labeled(&mut self, v: &[f32], mask: u32, scratch: &mut SearchScratch) -> u32 {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
         let g = self.next_global;
         self.next_global += 1;
         let n_groups = self.groups.len();
         let group = &mut self.groups[g as usize % n_groups];
-        let local = group.set.insert_local(v, scratch);
+        let local = group.set.insert_local_labeled(v, mask, scratch);
         assert_eq!(
             local as usize,
             group.global_ids.len(),
@@ -710,7 +873,7 @@ impl ClusterIndex {
     fn rebalance(&mut self, scratch: &mut SearchScratch) {
         self.consolidate(true);
         let n_groups = self.groups.len();
-        let mut moves: Vec<(u32, Vec<f32>, usize)> = Vec::new();
+        let mut moves: Vec<(u32, Vec<f32>, u32, usize)> = Vec::new();
         for (gi, group) in self.groups.iter_mut().enumerate() {
             for local in 0..group.global_ids.len() {
                 let g = group.global_ids[local];
@@ -722,13 +885,18 @@ impl ClusterIndex {
                     .handle
                     .as_mutable()
                     .expect("rebalance requires mutable groups");
-                moves.push((g, backend.vector_local(local as u32).to_vec(), target));
+                moves.push((
+                    g,
+                    backend.vector_local(local as u32).to_vec(),
+                    backend.label_local(local as u32),
+                    target,
+                ));
                 group.set.remove_local(local as u32);
             }
         }
-        for (g, v, target) in moves {
+        for (g, v, mask, target) in moves {
             let group = &mut self.groups[target];
-            let local = group.set.insert_local(&v, scratch);
+            let local = group.set.insert_local_labeled(&v, mask, scratch);
             assert_eq!(
                 local as usize,
                 group.global_ids.len(),
@@ -784,8 +952,9 @@ impl ClusterIndex {
             .expect("remove_shard requires a mutable departing group");
         for (local, &g) in departing.global_ids.iter().enumerate() {
             let v = backend.vector_local(local as u32).to_vec();
+            let mask = backend.label_local(local as u32);
             let group = &mut self.groups[g as usize % n_groups];
-            let new_local = group.set.insert_local(&v, scratch);
+            let new_local = group.set.insert_local_labeled(&v, mask, scratch);
             assert_eq!(
                 new_local as usize,
                 group.global_ids.len(),
@@ -955,6 +1124,24 @@ impl ClusterEngine {
             .map(|(res, _, _)| res)
     }
 
+    /// One interactive filtered read (wall-clock arrival, no admission
+    /// gate beyond shard availability).
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<Vec<Neighbor>, RejectReason> {
+        let now_us = self.epoch.elapsed().as_nanos() as f64 / 1e3;
+        let cluster = self.cluster.read();
+        cluster
+            .search_filtered_at(query, pred, strategy, ef, k, scratch, now_us, &self.cost)
+            .map(|(res, _, _)| res)
+    }
+
     /// Replays a fixed arrival schedule against the cluster in virtual
     /// time — the open-loop measurement loop (DESIGN.md §11.4). Per
     /// request: estimate start wait, ask the admission gate, then either
@@ -1014,8 +1201,15 @@ impl ClusterEngine {
                     report.admitted += 1;
                     tally.admitted += 1;
                     let q = queries.get(request.query as usize % queries.len());
-                    match cluster.search_at(q, ef, k, &mut scratch, request.arrival_us, &self.cost)
-                    {
+                    match cluster.search_at_opt(
+                        q,
+                        request.filter,
+                        ef,
+                        k,
+                        &mut scratch,
+                        request.arrival_us,
+                        &self.cost,
+                    ) {
                         Ok((neighbors, stats, completion_us)) => {
                             admission.started(completion_us);
                             total_dists += stats.dist_comps;
@@ -1473,6 +1667,204 @@ mod tests {
             for &g in group.global_ids() {
                 assert_eq!(g as usize % 2, idx, "global {g} misplaced after remove");
             }
+        }
+    }
+
+    #[test]
+    fn filtered_cluster_search_matches_sharded_reference_per_predicate() {
+        let cfg = SynthConfig {
+            dim: 8,
+            intrinsic_dim: 4,
+            clusters: 8,
+            cluster_std: 0.8,
+            noise_std: 0.05,
+            transform: ValueTransform::Identity,
+        };
+        let (all, labels) = cfg.generate_labeled(212, 45, 4);
+        let (base, queries) = all.split_at(200);
+        let base_labels = labels.subset(&(0..200).collect::<Vec<_>>());
+        let pq = pq(&base);
+        let cluster = ClusterIndex::build_in_memory_labeled(
+            &pq,
+            &base,
+            &base_labels,
+            2,
+            2,
+            LoadBalancePolicy::QueueAware,
+            graph_builder,
+        );
+        let reference = super::super::ShardedIndex::build_in_memory_labeled(
+            &pq,
+            &base,
+            &base_labels,
+            2,
+            graph_builder,
+        );
+        let mut scratch = SearchScratch::new();
+        // Exhaustive ef: the §7.3 exact-merge contract must hold per
+        // predicate, replica choice and strategy notwithstanding.
+        for strategy in [
+            FilterStrategy::DuringTraversal,
+            FilterStrategy::PostFilter { inflation: 4 },
+        ] {
+            for (qi, q) in queries.iter().enumerate() {
+                let pred = LabelPredicate::single(qi % 4);
+                let (got, _) = cluster
+                    .search_filtered(q, pred, strategy, 200, 10, &mut scratch)
+                    .unwrap();
+                let (want, _) = reference.search_filtered(q, pred, strategy, 200, 10, &mut scratch);
+                assert_eq!(
+                    got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    want.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    "query {qi} diverged under {}",
+                    strategy.name(),
+                );
+                assert!(got.iter().all(|n| base_labels.matches(n.id as usize, pred)));
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_filtered_open_loop_returns_only_matching_ids() {
+        let cfg = SynthConfig {
+            dim: 8,
+            intrinsic_dim: 4,
+            clusters: 8,
+            cluster_std: 0.8,
+            noise_std: 0.05,
+            transform: ValueTransform::Identity,
+        };
+        let (all, labels) = cfg.generate_labeled(190, 46, 4);
+        let (base, queries) = all.split_at(180);
+        let base_labels = labels.subset(&(0..180).collect::<Vec<_>>());
+        let pq = pq(&base);
+        let mk = || {
+            let cluster = ClusterIndex::build_in_memory_labeled(
+                &pq,
+                &base,
+                &base_labels,
+                2,
+                2,
+                LoadBalancePolicy::QueueAware,
+                graph_builder,
+            );
+            ClusterEngine::new(cluster, AdmissionConfig::default(), CostModel::default())
+        };
+        let filters = [
+            FilteredQuery {
+                pred: LabelPredicate::single(0),
+                strategy: FilterStrategy::DuringTraversal,
+            },
+            FilteredQuery {
+                pred: LabelPredicate::single(1),
+                strategy: FilterStrategy::PostFilter { inflation: 4 },
+            },
+        ];
+        let schedule = ArrivalSchedule::open_loop_zipf(300, 5_000.0, queries.len(), 2, 47, 1.1)
+            .with_filters(&filters);
+        let eng = mk();
+        let (outcomes, report) = eng.serve_open_loop(&queries, &schedule, 40, 5);
+        assert!(report.completed > 0, "healthy cluster must complete work");
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let Some(neighbors) = outcome.neighbors() else {
+                continue;
+            };
+            let pred = filters[i % filters.len()].pred;
+            assert!(
+                neighbors
+                    .iter()
+                    .all(|n| base_labels.matches(n.id as usize, pred)),
+                "request {i} returned a non-matching id"
+            );
+            assert!(!neighbors.is_empty());
+        }
+        // And the run replays bit-identically on a fresh engine.
+        let (again, _) = mk().serve_open_loop(&queries, &schedule, 40, 5);
+        assert_eq!(outcomes, again);
+    }
+
+    #[test]
+    fn labels_survive_reconfiguration_moves() {
+        let cfg = SynthConfig {
+            dim: 8,
+            intrinsic_dim: 4,
+            clusters: 8,
+            cluster_std: 0.8,
+            noise_std: 0.05,
+            transform: ValueTransform::Identity,
+        };
+        let (all, labels) = cfg.generate_labeled(130, 48, 4);
+        let (base, queries) = all.split_at(120);
+        let base_labels = labels.subset(&(0..120).collect::<Vec<_>>());
+        let pq = pq(&base);
+        let mut cluster = ClusterIndex::build_streaming_labeled(
+            &pq,
+            &base,
+            &base_labels,
+            2,
+            1,
+            LoadBalancePolicy::RoundRobin,
+            StreamingConfig::default(),
+        );
+        let mut scratch = SearchScratch::new();
+        // Force moves: add a third shard, then drop the middle one.
+        cluster.add_shard(
+            Box::new(StreamingIndex::new(pq.clone(), StreamingConfig::default())),
+            &mut scratch,
+        );
+        cluster.remove_shard(1, &mut scratch);
+        assert_eq!(cluster.live_len(), 120);
+        // Per-group mask census must match the original corpus: moves
+        // carried each point's mask to its new home.
+        let mut census: Vec<u32> = Vec::new();
+        for group in cluster.groups() {
+            let backend = group.replica_set().replicas()[0]
+                .handle
+                .as_mutable()
+                .unwrap();
+            for (local, &g) in group.global_ids().iter().enumerate() {
+                assert_eq!(
+                    backend.label_local(local as u32),
+                    base_labels.get(g as usize),
+                    "global {g} lost its mask in a move"
+                );
+                census.push(g);
+            }
+        }
+        census.sort_unstable();
+        assert_eq!(census, (0..120).collect::<Vec<_>>());
+        // Filtered reads still agree with a never-reconfigured reference.
+        let reference = super::super::ShardedIndex::build_in_memory_labeled(
+            &pq,
+            &base,
+            &base_labels,
+            2,
+            graph_builder,
+        );
+        for q in queries.iter() {
+            let pred = LabelPredicate::single(0);
+            let (got, _) = cluster
+                .search_filtered(
+                    q,
+                    pred,
+                    FilterStrategy::DuringTraversal,
+                    150,
+                    8,
+                    &mut scratch,
+                )
+                .unwrap();
+            let (want, _) = reference.search_filtered(
+                q,
+                pred,
+                FilterStrategy::DuringTraversal,
+                150,
+                8,
+                &mut scratch,
+            );
+            assert_eq!(
+                got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                want.iter().map(|n| n.id).collect::<Vec<_>>(),
+            );
         }
     }
 

@@ -14,12 +14,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
-use rpq_data::Dataset;
+use rpq_data::{Dataset, LabelPredicate};
 use rpq_graph::Neighbor;
 
 use super::metrics::{LatencyRecorder, LatencySummary};
 use super::pool::{default_workers, WorkerPool};
 use super::{merge_top_k, ShardQueryStats, ShardedIndex};
+use crate::filter::FilterStrategy;
 
 /// Engine sizing knobs.
 #[derive(Clone, Copy, Debug)]
@@ -154,6 +155,52 @@ impl ServeEngine {
         }
         // A shard job that panicked dropped its sender without reporting;
         // fail loudly rather than returning a top-k missing a shard.
+        assert_eq!(
+            partials.len(),
+            n_shards,
+            "{} shard search job(s) panicked",
+            n_shards - partials.len()
+        );
+        self.recorder
+            .record_us(t0.elapsed().as_secs_f32() * 1e6 + total.modeled_wait_seconds() * 1e6);
+        self.served.fetch_add(1, Ordering::Relaxed);
+        (merge_top_k(&partials, k), total)
+    }
+
+    /// [`ServeEngine::search`] under a predicate: the same fan-out/merge,
+    /// with every shard running its filtered search. `pred` and `strategy`
+    /// are `Copy`, so each pool job carries them by value. Results match
+    /// [`ShardedIndex::search_filtered`] id-for-id — the sequential
+    /// reference the concurrent path is tested against.
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        assert_eq!(query.len(), self.index.dim(), "query dimension mismatch");
+        let n_shards = self.index.n_shards();
+        let query: Arc<[f32]> = query.into();
+        let (tx, rx) = mpsc::channel();
+        let t0 = Instant::now();
+        for s in 0..n_shards {
+            let index = Arc::clone(&self.index);
+            let query = Arc::clone(&query);
+            let tx = tx.clone();
+            self.pool.submit(move |scratch| {
+                let out = index.search_shard_filtered(s, &query, pred, strategy, ef, k, scratch);
+                let _ = tx.send(out);
+            });
+        }
+        drop(tx);
+        let mut partials = Vec::with_capacity(n_shards);
+        let mut total = ShardQueryStats::default();
+        for (part, stats) in rx {
+            total.merge(&stats);
+            partials.push(part);
+        }
         assert_eq!(
             partials.len(),
             n_shards,
@@ -330,6 +377,56 @@ mod tests {
         assert!(report.qps > 0.0);
         assert!(report.mean_hops > 0.0);
         assert_eq!(report.mean_io_ms, 0.0);
+    }
+
+    #[test]
+    fn concurrent_filtered_search_matches_sequential_reference() {
+        let cfg = SynthConfig {
+            dim: 8,
+            intrinsic_dim: 4,
+            clusters: 8,
+            cluster_std: 0.8,
+            noise_std: 0.05,
+            transform: ValueTransform::Identity,
+        };
+        let (all, labels) = cfg.generate_labeled(316, 27, 4);
+        let (base, queries) = all.split_at(300);
+        let base_labels = labels.subset(&(0..300).collect::<Vec<_>>());
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let index = Arc::new(ShardedIndex::build_in_memory_labeled(
+            &pq,
+            &base,
+            &base_labels,
+            3,
+            graph_builder,
+        ));
+        let eng = ServeEngine::new(Arc::clone(&index), ServeConfig::default());
+        let mut scratch = SearchScratch::new();
+        for strategy in [
+            FilterStrategy::DuringTraversal,
+            FilterStrategy::PostFilter { inflation: 4 },
+        ] {
+            for qi in 0..queries.len() {
+                let q = queries.get(qi);
+                let pred = LabelPredicate::single(qi % 3);
+                let (got, stats) = eng.search_filtered(q, pred, strategy, 40, 8);
+                let (want, _) = index.search_filtered(q, pred, strategy, 40, 8, &mut scratch);
+                assert_eq!(
+                    got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    want.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    "query {qi} diverged under {}",
+                    strategy.name(),
+                );
+                assert!(stats.hops > 0);
+            }
+        }
     }
 
     #[test]

@@ -12,9 +12,11 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 
+use rpq_data::LabelPredicate;
 use rpq_graph::{Neighbor, SearchScratch};
 
 use super::{ShardBackend, ShardQueryStats};
+use crate::filter::FilterStrategy;
 
 /// Why a replica read did not produce a result.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -134,6 +136,41 @@ impl FlakyBackend {
         }
         Ok((res, stats))
     }
+
+    /// The fallible filtered read path: the same seeded fault schedule as
+    /// [`FlakyBackend::try_search_local`] (one ticket per read, filtered or
+    /// not), forwarding to the inner backend's filtered search on success.
+    pub fn try_search_local_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<(Vec<Neighbor>, ShardQueryStats), ReplicaFault> {
+        let ticket = self.reads.fetch_add(1, Ordering::Relaxed);
+        if self.down.load(Ordering::Relaxed) {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            return Err(ReplicaFault);
+        }
+        let rate = f32::from_bits(self.fail_rate_bits.load(Ordering::Relaxed));
+        if rate > 0.0 {
+            let u = (splitmix64(self.seed ^ ticket as u64) >> 11) as f64 / (1u64 << 53) as f64;
+            if (u as f32) < rate {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                return Err(ReplicaFault);
+            }
+        }
+        let (res, mut stats) = self
+            .inner
+            .search_local_filtered(query, pred, strategy, ef, k, scratch);
+        let stall_us = f32::from_bits(self.stall_us_bits.load(Ordering::Relaxed));
+        if stall_us > 0.0 {
+            stats.io_queue_seconds += stall_us / 1e6;
+        }
+        Ok((res, stats))
+    }
 }
 
 impl ShardBackend for FlakyBackend {
@@ -148,6 +185,19 @@ impl ShardBackend for FlakyBackend {
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, ShardQueryStats) {
         self.try_search_local(query, ef, k, scratch)
+            .expect("injected fault on a path with no failover")
+    }
+
+    fn search_local_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        self.try_search_local_filtered(query, pred, strategy, ef, k, scratch)
             .expect("injected fault on a path with no failover")
     }
 
@@ -180,6 +230,17 @@ mod tests {
                 })
                 .collect();
             (res, ShardQueryStats::default())
+        }
+        fn search_local_filtered(
+            &self,
+            query: &[f32],
+            _pred: LabelPredicate,
+            _strategy: FilterStrategy,
+            ef: usize,
+            k: usize,
+            scratch: &mut SearchScratch,
+        ) -> (Vec<Neighbor>, ShardQueryStats) {
+            self.search_local(query, ef, k, scratch)
         }
         fn shard_len(&self) -> usize {
             8

@@ -15,9 +15,25 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use super::ShardQueryStats;
+use rpq_data::LabelPredicate;
 
-/// One scheduled request: who asks what, when.
+use super::ShardQueryStats;
+use crate::filter::FilterStrategy;
+
+/// The filtered half of a request: which predicate constrains the results
+/// and how the engine should push it into the search (DESIGN.md §12).
+/// `Copy` (12 bytes) so scheduled requests carry it by value through every
+/// serving layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FilteredQuery {
+    /// The label predicate results must satisfy.
+    pub pred: LabelPredicate,
+    /// How the predicate is pushed into beam search.
+    pub strategy: FilterStrategy,
+}
+
+/// One scheduled request: who asks what, when — and under which predicate,
+/// if any.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Request {
     /// Arrival on the virtual clock, µs from the schedule start.
@@ -26,6 +42,8 @@ pub struct Request {
     pub tenant: u32,
     /// Index into the query set served with the schedule.
     pub query: u32,
+    /// Predicate constraint, `None` for unfiltered requests.
+    pub filter: Option<FilteredQuery>,
 }
 
 /// A fixed arrival schedule, sorted by arrival time.
@@ -61,10 +79,86 @@ impl ArrivalSchedule {
                         rng.gen_range(0..tenants)
                     },
                     query: rng.gen_range(0..n_queries as u32),
+                    filter: None,
                 }
             })
             .collect();
         Self { requests }
+    }
+
+    /// [`ArrivalSchedule::open_loop`] with **Zipf-skewed query selection**:
+    /// query index `q` is drawn with probability ∝ `1/(q+1)^s` (index 0
+    /// hottest), via a precomputed rank CDF and binary search — seeded and
+    /// bit-reproducible like everything else here. `s = 0` degenerates to
+    /// uniform (but through the CDF path, so the RNG stream differs from
+    /// [`ArrivalSchedule::open_loop`]'s). Skewed traffic is what makes
+    /// trace-warmed node caches pay off: a heavy head re-touches the same
+    /// graph neighborhoods, so hit rates climb with `s`.
+    pub fn open_loop_zipf(
+        n: usize,
+        offered_qps: f64,
+        n_queries: usize,
+        tenants: u32,
+        seed: u64,
+        s: f64,
+    ) -> Self {
+        assert!(offered_qps > 0.0, "offered load must be positive");
+        assert!(n_queries > 0, "need at least one query to schedule");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        // Rank CDF over query indices: weights 1/(r+1)^s, cumulative,
+        // normalized to [0, 1].
+        let mut cdf = Vec::with_capacity(n_queries);
+        let mut acc = 0.0f64;
+        for r in 0..n_queries {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t_us = 0.0f64;
+        let requests = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t_us += -u.ln() * 1e6 / offered_qps;
+                let tenant = if tenants <= 1 {
+                    0
+                } else {
+                    rng.gen_range(0..tenants)
+                };
+                let z: f64 = rng.gen_range(0.0..1.0);
+                let query = cdf.partition_point(|&c| c < z).min(n_queries - 1) as u32;
+                Request {
+                    arrival_us: t_us,
+                    tenant,
+                    query,
+                    filter: None,
+                }
+            })
+            .collect();
+        Self { requests }
+    }
+
+    /// Stamps every request with the same predicate — how an experiment
+    /// turns a traffic schedule into filtered traffic.
+    pub fn with_filter(mut self, filter: FilteredQuery) -> Self {
+        for r in &mut self.requests {
+            r.filter = Some(filter);
+        }
+        self
+    }
+
+    /// Stamps request `i` with `filters[i % filters.len()]` — mixed-
+    /// predicate traffic from one schedule (deterministic round-robin over
+    /// the predicate set).
+    pub fn with_filters(mut self, filters: &[FilteredQuery]) -> Self {
+        assert!(!filters.is_empty(), "need at least one filter to stamp");
+        for (i, r) in self.requests.iter_mut().enumerate() {
+            r.filter = Some(filters[i % filters.len()]);
+        }
+        self
     }
 
     /// Every request at t=0 — what a closed-loop batch looks like to the
@@ -76,6 +170,7 @@ impl ArrivalSchedule {
                 arrival_us: 0.0,
                 tenant: 0,
                 query: (i % n_queries) as u32,
+                filter: None,
             })
             .collect();
         Self { requests }
@@ -150,6 +245,46 @@ mod tests {
         assert!((3.0..5.0).contains(&span_s), "span {span_s:.2}s");
         assert!(a.requests.iter().any(|r| r.tenant == 2));
         assert!(a.requests.iter().all(|r| r.tenant < 3 && r.query < 16));
+    }
+
+    #[test]
+    fn zipf_schedule_is_seeded_and_skews_toward_the_head() {
+        let a = ArrivalSchedule::open_loop_zipf(4000, 500.0, 32, 2, 7, 1.1);
+        let b = ArrivalSchedule::open_loop_zipf(4000, 500.0, 32, 2, 7, 1.1);
+        assert_eq!(a.requests, b.requests, "same seed, same schedule");
+        assert!(a
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_us <= w[1].arrival_us));
+        assert!(a.requests.iter().all(|r| r.query < 32 && r.tenant < 2));
+        // Head query share under Zipf(1.1) over 32 ranks is ~24%; uniform
+        // would be ~3%. The top-4 head must dominate a uniform draw.
+        let head = a.requests.iter().filter(|r| r.query < 4).count() as f64 / 4000.0;
+        assert!(head > 0.35, "Zipf head share too small: {head:.3}");
+        let uniform = ArrivalSchedule::open_loop_zipf(4000, 500.0, 32, 2, 7, 0.0);
+        let head_u = uniform.requests.iter().filter(|r| r.query < 4).count() as f64 / 4000.0;
+        assert!(
+            (head_u - 4.0 / 32.0).abs() < 0.04,
+            "s=0 must be uniform: {head_u:.3}"
+        );
+    }
+
+    #[test]
+    fn filter_stamping_covers_every_request() {
+        let f0 = FilteredQuery {
+            pred: LabelPredicate::single(0),
+            strategy: FilterStrategy::DuringTraversal,
+        };
+        let f1 = FilteredQuery {
+            pred: LabelPredicate::single(1),
+            strategy: FilterStrategy::PostFilter { inflation: 4 },
+        };
+        let s = ArrivalSchedule::open_loop(10, 100.0, 4, 1, 3).with_filter(f0);
+        assert!(s.requests.iter().all(|r| r.filter == Some(f0)));
+        let s = ArrivalSchedule::open_loop(10, 100.0, 4, 1, 3).with_filters(&[f0, f1]);
+        assert_eq!(s.requests[0].filter, Some(f0));
+        assert_eq!(s.requests[1].filter, Some(f1));
+        assert_eq!(s.requests[2].filter, Some(f0));
     }
 
     #[test]

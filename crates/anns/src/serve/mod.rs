@@ -33,18 +33,19 @@ pub use cluster::{
 };
 pub use engine::{BatchReport, ServeConfig, ServeEngine};
 pub use fault::{FlakyBackend, ReplicaFault};
-pub use loadgen::{ArrivalSchedule, CostModel, Request};
+pub use loadgen::{ArrivalSchedule, CostModel, FilteredQuery, Request};
 pub use metrics::{LatencyRecorder, LatencySummary};
 pub use pool::{default_workers, WorkerPool};
 
 use std::io;
 use std::sync::Arc;
 
-use rpq_data::Dataset;
+use rpq_data::{Dataset, LabelPredicate, Labels};
 use rpq_graph::{Neighbor, ProximityGraph, SearchScratch};
 use rpq_quant::VectorCompressor;
 
 use crate::disk::{DiskIndex, DiskIndexConfig};
+use crate::filter::FilterStrategy;
 use crate::memory::InMemoryIndex;
 use crate::stream::{StreamingConfig, StreamingIndex};
 
@@ -109,6 +110,20 @@ pub trait ShardBackend: Send + Sync {
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, ShardQueryStats);
 
+    /// Top-`k` among local vectors satisfying `pred` (DESIGN.md §12). The
+    /// predicate and strategy are concrete `Copy` types so this trait stays
+    /// object-safe (the serving layers hold shards as `dyn ShardBackend`).
+    /// Panics when the backend carries no labels.
+    fn search_local_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats);
+
     /// Vectors indexed by this shard.
     fn shard_len(&self) -> usize;
 
@@ -130,6 +145,10 @@ pub trait MutableShardBackend: ShardBackend {
     /// Inserts one vector; returns its local id (== `shard_len` before the
     /// call).
     fn insert_local(&mut self, v: &[f32], scratch: &mut SearchScratch) -> u32;
+
+    /// [`MutableShardBackend::insert_local`] with a label bitmask (mask 0 =
+    /// unlabeled), so streamed points stay searchable under predicates.
+    fn insert_local_labeled(&mut self, v: &[f32], mask: u32, scratch: &mut SearchScratch) -> u32;
 
     /// Tombstones a local id. False when out of range or already dead.
     fn remove_local(&mut self, local_id: u32) -> bool;
@@ -154,6 +173,11 @@ pub trait MutableShardBackend: ShardBackend {
     /// The stored vector behind a local id, tombstoned slots included —
     /// what live reconfiguration reads when a point moves to another shard.
     fn vector_local(&self, local_id: u32) -> &[f32];
+
+    /// The label mask behind a local id — read alongside
+    /// [`MutableShardBackend::vector_local`] when reconfiguration moves a
+    /// point, so predicates keep matching it at its new home.
+    fn label_local(&self, local_id: u32) -> u32;
 }
 
 /// Frozen backends can be shared between replicas by reference counting:
@@ -167,6 +191,18 @@ impl<T: ShardBackend + ?Sized> ShardBackend for Arc<T> {
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, ShardQueryStats) {
         (**self).search_local(query, ef, k, scratch)
+    }
+
+    fn search_local_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        (**self).search_local_filtered(query, pred, strategy, ef, k, scratch)
     }
 
     fn shard_len(&self) -> usize {
@@ -197,6 +233,26 @@ impl<C: VectorCompressor> ShardBackend for StreamingIndex<C> {
         )
     }
 
+    fn search_local_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        let (res, stats) = self.search_filtered(query, pred, strategy, ef, k, scratch);
+        (
+            res,
+            ShardQueryStats {
+                hops: stats.hops,
+                dist_comps: stats.dist_comps,
+                ..Default::default()
+            },
+        )
+    }
+
     fn shard_len(&self) -> usize {
         self.len()
     }
@@ -209,6 +265,10 @@ impl<C: VectorCompressor> ShardBackend for StreamingIndex<C> {
 impl<C: VectorCompressor + Clone + 'static> MutableShardBackend for StreamingIndex<C> {
     fn insert_local(&mut self, v: &[f32], scratch: &mut SearchScratch) -> u32 {
         self.insert(v, scratch)
+    }
+
+    fn insert_local_labeled(&mut self, v: &[f32], mask: u32, scratch: &mut SearchScratch) -> u32 {
+        self.insert_labeled(v, mask, scratch)
     }
 
     fn remove_local(&mut self, local_id: u32) -> bool {
@@ -234,6 +294,10 @@ impl<C: VectorCompressor + Clone + 'static> MutableShardBackend for StreamingInd
     fn vector_local(&self, local_id: u32) -> &[f32] {
         self.vectors().get(local_id as usize)
     }
+
+    fn label_local(&self, local_id: u32) -> u32 {
+        self.labels().get(local_id as usize)
+    }
 }
 
 impl<C: VectorCompressor> ShardBackend for InMemoryIndex<C> {
@@ -245,6 +309,26 @@ impl<C: VectorCompressor> ShardBackend for InMemoryIndex<C> {
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, ShardQueryStats) {
         let (res, stats) = self.search(query, ef, k, scratch);
+        (
+            res,
+            ShardQueryStats {
+                hops: stats.hops,
+                dist_comps: stats.dist_comps,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn search_local_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        let (res, stats) = self.search_filtered(query, pred, strategy, ef, k, scratch);
         (
             res,
             ShardQueryStats {
@@ -273,20 +357,20 @@ impl<C: VectorCompressor> ShardBackend for DiskIndex<C> {
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, ShardQueryStats) {
         let (res, stats) = self.search_with_scratch(query, ef, k, scratch);
-        (
-            res,
-            ShardQueryStats {
-                hops: stats.hops,
-                dist_comps: stats.dist_comps,
-                io_reads: stats.io_reads,
-                coalesced_ios: stats.coalesced_ios,
-                cache_hits: stats.cache_hits,
-                cache_misses: stats.cache_misses,
-                io_seconds: stats.io_seconds,
-                io_stall_seconds: stats.io_stall_seconds,
-                io_queue_seconds: stats.io_queue_seconds,
-            },
-        )
+        (res, disk_stats_to_shard(&stats))
+    }
+
+    fn search_local_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        let (res, stats) = self.search_filtered(query, pred, strategy, ef, k, scratch);
+        (res, disk_stats_to_shard(&stats))
     }
 
     fn shard_len(&self) -> usize {
@@ -295,6 +379,20 @@ impl<C: VectorCompressor> ShardBackend for DiskIndex<C> {
 
     fn resident_bytes(&self) -> usize {
         self.resident_bytes()
+    }
+}
+
+fn disk_stats_to_shard(stats: &crate::disk::DiskSearchStats) -> ShardQueryStats {
+    ShardQueryStats {
+        hops: stats.hops,
+        dist_comps: stats.dist_comps,
+        io_reads: stats.io_reads,
+        coalesced_ios: stats.coalesced_ios,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        io_seconds: stats.io_seconds,
+        io_stall_seconds: stats.io_stall_seconds,
+        io_queue_seconds: stats.io_queue_seconds,
     }
 }
 
@@ -503,6 +601,36 @@ impl ShardedIndex {
         Self::from_shards(shards, data.dim())
     }
 
+    /// [`ShardedIndex::build_in_memory`] with per-vector labels: each shard
+    /// gets the label subset matching its partition (the same positional
+    /// discipline as the vectors), enabling
+    /// [`ShardedIndex::search_filtered`].
+    pub fn build_in_memory_labeled<C>(
+        compressor: &C,
+        data: &Dataset,
+        labels: &Labels,
+        n_shards: usize,
+        build_graph: impl Fn(&Dataset) -> ProximityGraph,
+    ) -> Self
+    where
+        C: VectorCompressor + Clone + 'static,
+    {
+        assert_shardable(data.len(), n_shards);
+        assert_eq!(labels.len(), data.len(), "labels/dataset size mismatch");
+        let shards = partition_round_robin(data.len(), n_shards)
+            .into_iter()
+            .map(|ids| {
+                let local: Vec<usize> = ids.iter().map(|&g| g as usize).collect();
+                let part = data.subset(&local);
+                let graph = build_graph(&part);
+                let index = InMemoryIndex::build(compressor.clone(), &part, graph)
+                    .with_labels(labels.subset(&local));
+                Shard::new(Box::new(index), ids)
+            })
+            .collect();
+        Self::from_shards(shards, data.dim())
+    }
+
     /// Partitions `data` round-robin into `n_shards` hybrid (disk) shards.
     /// Each shard's store file is `cfg.path` with `.shard<i>` appended.
     /// All shards share **one** [`crate::ssd::SsdClock`] — they model one
@@ -540,6 +668,43 @@ impl ShardedIndex {
         Ok(Self::from_shards(shards, data.dim()))
     }
 
+    /// [`ShardedIndex::build_on_disk`] with per-vector labels partitioned
+    /// alongside the vectors (labels stay in RAM next to each shard's
+    /// codes).
+    pub fn build_on_disk_labeled<C>(
+        compressor: &C,
+        data: &Dataset,
+        labels: &Labels,
+        n_shards: usize,
+        cfg: &DiskIndexConfig,
+        build_graph: impl Fn(&Dataset) -> ProximityGraph,
+    ) -> io::Result<Self>
+    where
+        C: VectorCompressor + Clone + 'static,
+    {
+        assert_shardable(data.len(), n_shards);
+        assert_eq!(labels.len(), data.len(), "labels/dataset size mismatch");
+        let clock = std::sync::Arc::new(crate::ssd::SsdClock::new());
+        let mut shards = Vec::new();
+        for (i, ids) in partition_round_robin(data.len(), n_shards)
+            .into_iter()
+            .enumerate()
+        {
+            let local: Vec<usize> = ids.iter().map(|&g| g as usize).collect();
+            let part = data.subset(&local);
+            let graph = build_graph(&part);
+            let mut shard_cfg = cfg.clone();
+            let mut os = shard_cfg.path.into_os_string();
+            os.push(format!(".shard{i}"));
+            shard_cfg.path = os.into();
+            let mut index = DiskIndex::build(compressor.clone(), &part, &graph, shard_cfg)?;
+            index.attach_clock(std::sync::Arc::clone(&clock));
+            index.set_labels(labels.subset(&local));
+            shards.push(Shard::new(Box::new(index), ids));
+        }
+        Ok(Self::from_shards(shards, data.dim()))
+    }
+
     /// Partitions `data` round-robin into `n_shards` *mutable* streaming
     /// shards (DESIGN.md §8.4): each shard is a [`StreamingIndex`] over its
     /// partition, sharing the one trained `compressor`, so the §7.3
@@ -569,11 +734,48 @@ impl ShardedIndex {
         Self::from_shards(shards, data.dim())
     }
 
+    /// [`ShardedIndex::build_streaming`] with per-vector labels; streamed
+    /// inserts carry their mask through [`ShardedIndex::insert_labeled`]
+    /// and consolidation compacts each shard's labels in lock-step.
+    pub fn build_streaming_labeled<C>(
+        compressor: &C,
+        data: &Dataset,
+        labels: &Labels,
+        n_shards: usize,
+        cfg: StreamingConfig,
+    ) -> Self
+    where
+        C: VectorCompressor + Clone + 'static,
+    {
+        assert_shardable(data.len(), n_shards);
+        assert_eq!(labels.len(), data.len(), "labels/dataset size mismatch");
+        let shards = partition_round_robin(data.len(), n_shards)
+            .into_iter()
+            .map(|ids| {
+                let local: Vec<usize> = ids.iter().map(|&g| g as usize).collect();
+                let part = data.subset(&local);
+                let index = StreamingIndex::build_labeled(
+                    compressor.clone(),
+                    &part,
+                    labels.subset(&local),
+                    cfg,
+                );
+                Shard::new_mutable(Box::new(index), ids)
+            })
+            .collect();
+        Self::from_shards(shards, data.dim())
+    }
+
     /// Inserts one vector, routing by round-robin on the fresh global id
     /// (`g % n_shards` — the same rule [`partition_round_robin`] applied at
     /// build time). Returns the global id. Panics if the chosen shard is
     /// not mutable.
     pub fn insert(&mut self, v: &[f32], scratch: &mut SearchScratch) -> u32 {
+        self.insert_labeled(v, 0, scratch)
+    }
+
+    /// [`ShardedIndex::insert`] with a label bitmask (mask 0 = unlabeled).
+    pub fn insert_labeled(&mut self, v: &[f32], mask: u32, scratch: &mut SearchScratch) -> u32 {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
         let g = self.next_global;
         self.next_global += 1;
@@ -583,7 +785,7 @@ impl ShardedIndex {
             .backend
             .mutable()
             .expect("insert routed to a frozen shard; build with build_streaming");
-        let local = backend.insert_local(v, scratch);
+        let local = backend.insert_local_labeled(v, mask, scratch);
         assert_eq!(
             local as usize,
             shard.global_ids.len(),
@@ -698,6 +900,29 @@ impl ShardedIndex {
         (res, stats)
     }
 
+    /// Filtered search of one shard; returned ids are global.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_shard_filtered(
+        &self,
+        shard: usize,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        let s = &self.shards[shard];
+        let (mut res, stats) = s
+            .backend
+            .read()
+            .search_local_filtered(query, pred, strategy, ef, k, scratch);
+        for n in &mut res {
+            n.id = s.global_ids[n.id as usize];
+        }
+        (res, stats)
+    }
+
     /// Fans one query out to every shard **sequentially** on the calling
     /// thread and merges: the reference implementation the concurrent
     /// [`ServeEngine`] must agree with.
@@ -713,6 +938,33 @@ impl ShardedIndex {
         let mut total = ShardQueryStats::default();
         for s in 0..self.shards.len() {
             let (part, stats) = self.search_shard(s, query, ef, k, scratch);
+            total.merge(&stats);
+            partials.push(part);
+        }
+        (merge_top_k(&partials, k), total)
+    }
+
+    /// Filtered fan-out + merge, sequential on the calling thread — the
+    /// reference the concurrent filtered paths must agree with. The §7.3
+    /// exact-merge argument carries over per predicate: the matching set is
+    /// partitioned exactly like the base set, so merging per-shard filtered
+    /// top-k lists at exhaustive `ef` equals the single-index filtered
+    /// top-k.
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, ShardQueryStats) {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut partials = Vec::with_capacity(self.shards.len());
+        let mut total = ShardQueryStats::default();
+        for s in 0..self.shards.len() {
+            let (part, stats) =
+                self.search_shard_filtered(s, query, pred, strategy, ef, k, scratch);
             total.merge(&stats);
             partials.push(part);
         }

@@ -17,11 +17,14 @@
 //! re-derive them. Queries still rank purely by ADC over the compact codes,
 //! so search behaviour matches the frozen in-memory scenario.
 
-use rpq_data::Dataset;
+use rpq_data::{labels::MAX_VOCAB, Dataset, LabelPredicate, Labels};
 use rpq_graph::{
     beam_search_filtered, DynamicGraph, Neighbor, SearchScratch, SearchStats, VamanaConfig,
+    VertexFilter,
 };
 use rpq_quant::{CompactCodes, SoaCodes, VectorCompressor};
+
+use crate::filter::FilterStrategy;
 
 /// Parameters of the streaming lifecycle.
 #[derive(Clone, Copy, Debug)]
@@ -123,6 +126,10 @@ pub struct StreamingIndex<C: VectorCompressor> {
     /// rows make appends O(M) amortized — mutability costs nothing here.
     soa: SoaCodes,
     tombstones: Vec<bool>,
+    /// Per-point label sets, kept in lock-step with the code stores through
+    /// insert and consolidation (DESIGN.md §12). Unlabeled points carry
+    /// mask 0 and match no predicate.
+    labels: Labels,
     live: usize,
     cfg: StreamingConfig,
 }
@@ -141,6 +148,7 @@ impl<C: VectorCompressor> StreamingIndex<C> {
             codes,
             soa,
             tombstones: Vec::new(),
+            labels: Labels::new(MAX_VOCAB),
             live: 0,
             graph: DynamicGraph::new(),
             compressor,
@@ -153,7 +161,20 @@ impl<C: VectorCompressor> StreamingIndex<C> {
     /// standard Vamana build plus a reachability repair, so exhaustive
     /// searches see every live point.
     pub fn build(compressor: C, data: &Dataset, cfg: StreamingConfig) -> Self {
+        let labels = Labels::from_masks(MAX_VOCAB, vec![0; data.len()]);
+        Self::build_labeled(compressor, data, labels, cfg)
+    }
+
+    /// [`StreamingIndex::build`] with per-point labels for filtered search
+    /// (DESIGN.md §12). `labels` must cover `data` one-to-one.
+    pub fn build_labeled(
+        compressor: C,
+        data: &Dataset,
+        labels: Labels,
+        cfg: StreamingConfig,
+    ) -> Self {
         assert_eq!(compressor.dim(), data.dim(), "compressor dim mismatch");
+        assert_eq!(labels.len(), data.len(), "labels/dataset size mismatch");
         let codes = compressor.encode_dataset(data);
         let soa = SoaCodes::from_compact(&codes);
         let mut graph = DynamicGraph::from_graph(&cfg.vamana().build(data));
@@ -163,6 +184,7 @@ impl<C: VectorCompressor> StreamingIndex<C> {
             codes,
             soa,
             tombstones: vec![false; data.len()],
+            labels,
             live: data.len(),
             graph,
             compressor,
@@ -174,6 +196,13 @@ impl<C: VectorCompressor> StreamingIndex<C> {
     /// [`StreamingIndex::len`]). The scratch is the same one
     /// [`StreamingIndex::search`] uses and may be sized for any epoch.
     pub fn insert(&mut self, v: &[f32], scratch: &mut SearchScratch) -> u32 {
+        self.insert_labeled(v, 0, scratch)
+    }
+
+    /// [`StreamingIndex::insert`] with a label bitmask; the labels store
+    /// appends in lock-step with the vectors, codes, SoA mirror, and
+    /// tombstone bitmap. Mask 0 means unlabeled (matches no predicate).
+    pub fn insert_labeled(&mut self, v: &[f32], mask: u32, scratch: &mut SearchScratch) -> u32 {
         let p = self.vectors.len() as u32;
         self.vectors.push(v);
         let mut code = vec![0u8; self.codes.m()];
@@ -181,6 +210,7 @@ impl<C: VectorCompressor> StreamingIndex<C> {
         self.codes.push(&code);
         self.soa.push(&code);
         self.tombstones.push(false);
+        self.labels.push(mask);
         self.cfg
             .vamana()
             .insert_point(&mut self.graph, &self.vectors, p, scratch);
@@ -213,18 +243,59 @@ impl<C: VectorCompressor> StreamingIndex<C> {
         k: usize,
         scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, SearchStats) {
+        self.search_with_filter(
+            query,
+            ef,
+            k,
+            scratch,
+            VertexFilter::tombstones(&self.tombstones),
+        )
+    }
+
+    /// Beam search restricted to live points satisfying `pred`
+    /// (DESIGN.md §12). The tombstone filter always composes in — a
+    /// returned id is live *and* matching regardless of `strategy`.
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        pred: LabelPredicate,
+        strategy: FilterStrategy,
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        match strategy {
+            FilterStrategy::DuringTraversal => {
+                let accept = self.labels.accept_fn(pred);
+                let filter = VertexFilter::tombstones(&self.tombstones).and_predicate(&accept);
+                self.search_with_filter(query, ef, k, scratch, filter)
+            }
+            FilterStrategy::PostFilter { .. } => {
+                let big_ef = strategy.inflated_ef(ef);
+                let (mut res, stats) = self.search(query, big_ef, big_ef, scratch);
+                res.retain(|n| self.labels.matches(n.id as usize, pred));
+                res.truncate(k);
+                (res, stats)
+            }
+        }
+    }
+
+    fn search_with_filter(
+        &self,
+        query: &[f32],
+        ef: usize,
+        k: usize,
+        scratch: &mut SearchScratch,
+        filter: VertexFilter<'_>,
+    ) -> (Vec<Neighbor>, SearchStats) {
         // Batched SoA estimator when available — bit-identical to the
-        // scalar path by contract, so the tombstone filter and every
-        // returned distance are unaffected by which path ran.
+        // scalar path by contract, so the vertex filter and every returned
+        // distance are unaffected by which path ran.
         if let Some(est) = self.compressor.batch_estimator(&self.soa, query) {
-            return beam_search_filtered(&self.graph, &est, ef, k, scratch, |v| {
-                !self.tombstones[v as usize]
-            });
+            return beam_search_filtered(&self.graph, &est, ef, k, scratch, filter);
         }
         let est = self.compressor.estimator(&self.codes, query);
-        beam_search_filtered(&self.graph, &est, ef, k, scratch, |v| {
-            !self.tombstones[v as usize]
-        })
+        beam_search_filtered(&self.graph, &est, ef, k, scratch, filter)
     }
 
     /// Reclaims tombstones if their fraction has reached
@@ -246,6 +317,7 @@ impl<C: VectorCompressor> StreamingIndex<C> {
         self.vectors = self.vectors.subset(&idx);
         self.codes = self.codes.compact(&survivors);
         self.soa = self.soa.compact(&survivors);
+        self.labels = self.labels.compact(&survivors);
         self.tombstones = vec![false; survivors.len()];
         debug_assert_eq!(self.live, survivors.len());
         Some(ConsolidateReport {
@@ -298,6 +370,11 @@ impl<C: VectorCompressor> StreamingIndex<C> {
         &self.vectors
     }
 
+    /// The per-point label sets (mask 0 for unlabeled points).
+    pub fn labels(&self) -> &Labels {
+        &self.labels
+    }
+
     /// The compressor.
     pub fn compressor(&self) -> &C {
         &self.compressor
@@ -316,6 +393,7 @@ impl<C: VectorCompressor> StreamingIndex<C> {
             + self.soa.memory_bytes()
             + self.compressor.model_bytes()
             + self.vectors.memory_bytes()
+            + self.labels.memory_bytes()
             + self.tombstones.capacity()
     }
 }
@@ -444,6 +522,52 @@ mod tests {
         let recall = gt.recall(&results);
         // ADC-only ranking: same floor the frozen in-memory tests use.
         assert!(recall > 0.6, "post-churn recall too low: {recall}");
+    }
+
+    #[test]
+    fn labels_stay_in_lock_step_through_churn_and_consolidation() {
+        let data = toy(200, 6);
+        let (base, reserve) = data.split_at(150);
+        let pq = pq_for(&data, 6);
+        // Even local ids label 0, odd label 1.
+        let base_labels = Labels::from_masks(2, (0..base.len()).map(|i| 1 << (i % 2)).collect());
+        let mut index =
+            StreamingIndex::build_labeled(pq, &base, base_labels, StreamingConfig::default());
+        let mut scratch = SearchScratch::new();
+        // Remove a swath, insert the reserve alternating labels, reclaim.
+        for id in (0..150u32).step_by(3) {
+            index.remove(id);
+        }
+        for (i, v) in reserve.iter().enumerate() {
+            index.insert_labeled(v, 1 << (i % 2), &mut scratch);
+        }
+        index.consolidate(true).expect("over threshold");
+        assert_eq!(
+            index.labels().len(),
+            index.len(),
+            "labels must track the compacted id space"
+        );
+        // Every filtered result is live and matches, for both predicates
+        // and both strategies.
+        for label in [0usize, 1] {
+            let pred = LabelPredicate::single(label);
+            for strategy in [
+                FilterStrategy::DuringTraversal,
+                FilterStrategy::PostFilter { inflation: 4 },
+            ] {
+                let (res, _) =
+                    index.search_filtered(data.get(10), pred, strategy, 60, 10, &mut scratch);
+                assert!(!res.is_empty());
+                for n in &res {
+                    assert!(!index.is_tombstoned(n.id));
+                    assert!(
+                        index.labels().matches(n.id as usize, pred),
+                        "{strategy:?} returned id {} without label {label}",
+                        n.id
+                    );
+                }
+            }
+        }
     }
 
     #[test]

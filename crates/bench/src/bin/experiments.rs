@@ -12,7 +12,8 @@
 use std::time::Instant;
 
 use rpq_bench::experiments::{
-    ablation, artifacts, cluster, curves, diskio, hotpath, sensitivity, serve, streaming, threads,
+    ablation, artifacts, cluster, curves, diskio, filtered, hotpath, sensitivity, serve, streaming,
+    threads,
 };
 use rpq_bench::Scale;
 
@@ -37,6 +38,7 @@ const ALL: &[&str] = &[
     "hotpath",
     "diskio",
     "cluster",
+    "filtered",
 ];
 
 fn main() {
@@ -96,6 +98,7 @@ fn main() {
             "hotpath" => hotpath::hotpath(&scale).print(),
             "diskio" => diskio::diskio(&scale).print(),
             "cluster" => cluster::cluster(&scale).print(),
+            "filtered" => filtered::filtered(&scale).print(),
             _ => unreachable!(),
         }
         eprintln!("[{id}] done in {:.1}s", start.elapsed().as_secs_f32());

@@ -35,6 +35,8 @@ pub struct ClusterPoint {
     pub replicas: usize,
     pub shards: usize,
     pub ef: usize,
+    /// Zipf exponent of the schedule's query selection (0 = uniform).
+    pub skew: f32,
     /// Offered load as a fraction of single-replica capacity.
     pub load_frac: f32,
     pub offered_qps: f32,
@@ -60,6 +62,7 @@ pub fn cluster(scale: &Scale) -> Report {
         &scale.label(),
         &[
             "Replicas",
+            "Skew",
             "Load frac",
             "Offered QPS",
             "Goodput QPS",
@@ -140,46 +143,66 @@ pub fn cluster(scale: &Scale) -> Report {
         let engine = mk_engine(replicas, cost);
         for (li, &load_frac) in scale.cluster_load_fracs.iter().enumerate() {
             let offered_qps = load_frac as f64 * capacity_qps;
-            let schedule = ArrivalSchedule::open_loop(
-                scale.cluster_requests,
-                offered_qps,
-                bench.queries.len(),
-                1,
-                // One schedule per load point, shared across replica
-                // counts so the comparison is paired.
-                seed + 100 + li as u64,
-            );
-            let (_, run) = engine.serve_open_loop(&bench.queries, &schedule, ef, scale.k);
-            assert_eq!(
-                run.completed + run.shed,
-                run.offered,
-                "admission accounting must conserve requests"
-            );
-            let point = ClusterPoint {
-                replicas,
-                shards: N_SHARDS,
-                ef,
-                load_frac,
-                offered_qps: run.offered_qps,
-                goodput_qps: run.goodput_qps,
-                offered: run.offered,
-                admitted: run.admitted,
-                completed: run.completed,
-                shed: run.shed,
-                shed_fraction: run.shed as f32 / run.offered.max(1) as f32,
-                p50_us: run.latency.p50_us,
-                p99_us: run.latency.p99_us,
-            };
-            report.push_row(vec![
-                point.replicas.to_string(),
-                fmt(point.load_frac),
-                fmt(point.offered_qps),
-                fmt(point.goodput_qps),
-                fmt(point.shed_fraction * 100.0),
-                fmt(point.p50_us),
-                fmt(point.p99_us),
-            ]);
-            points.push(point);
+            // Uniform and Zipf-skewed schedules per load point, each
+            // shared across replica counts so comparisons are paired.
+            let schedules = [
+                (
+                    0.0f32,
+                    ArrivalSchedule::open_loop(
+                        scale.cluster_requests,
+                        offered_qps,
+                        bench.queries.len(),
+                        1,
+                        seed + 100 + li as u64,
+                    ),
+                ),
+                (
+                    scale.zipf_s as f32,
+                    ArrivalSchedule::open_loop_zipf(
+                        scale.cluster_requests,
+                        offered_qps,
+                        bench.queries.len(),
+                        1,
+                        seed + 200 + li as u64,
+                        scale.zipf_s,
+                    ),
+                ),
+            ];
+            for (skew, schedule) in &schedules {
+                let (_, run) = engine.serve_open_loop(&bench.queries, schedule, ef, scale.k);
+                assert_eq!(
+                    run.completed + run.shed,
+                    run.offered,
+                    "admission accounting must conserve requests"
+                );
+                let point = ClusterPoint {
+                    replicas,
+                    shards: N_SHARDS,
+                    ef,
+                    skew: *skew,
+                    load_frac,
+                    offered_qps: run.offered_qps,
+                    goodput_qps: run.goodput_qps,
+                    offered: run.offered,
+                    admitted: run.admitted,
+                    completed: run.completed,
+                    shed: run.shed,
+                    shed_fraction: run.shed as f32 / run.offered.max(1) as f32,
+                    p50_us: run.latency.p50_us,
+                    p99_us: run.latency.p99_us,
+                };
+                report.push_row(vec![
+                    point.replicas.to_string(),
+                    fmt(point.skew),
+                    fmt(point.load_frac),
+                    fmt(point.offered_qps),
+                    fmt(point.goodput_qps),
+                    fmt(point.shed_fraction * 100.0),
+                    fmt(point.p50_us),
+                    fmt(point.p99_us),
+                ]);
+                points.push(point);
+            }
         }
     }
     write_json("cluster", &points);

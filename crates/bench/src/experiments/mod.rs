@@ -5,6 +5,7 @@ pub mod artifacts;
 pub mod cluster;
 pub mod curves;
 pub mod diskio;
+pub mod filtered;
 pub mod hotpath;
 pub mod sensitivity;
 pub mod serve;

@@ -14,8 +14,9 @@ use std::sync::Arc;
 
 use serde::Serialize;
 
-use rpq_anns::serve::{ServeConfig, ServeEngine, ShardedIndex};
+use rpq_anns::serve::{ArrivalSchedule, ServeConfig, ServeEngine, ShardedIndex};
 use rpq_data::synth::DatasetKind;
+use rpq_data::GroundTruth;
 use rpq_graph::HnswConfig;
 use rpq_quant::{PqConfig, ProductQuantizer};
 
@@ -29,6 +30,8 @@ pub struct ServePoint {
     pub shards: usize,
     pub workers: usize,
     pub ef: usize,
+    /// Zipf exponent of the query mix (0 = uniform, each query once).
+    pub skew: f32,
     pub recall: f32,
     pub qps: f32,
     pub p50_us: f32,
@@ -66,6 +69,7 @@ pub fn serve(scale: &Scale) -> Report {
             "Shards",
             "Workers",
             "ef",
+            "Skew",
             "Recall@10",
             "QPS",
             "p50 µs",
@@ -93,6 +97,28 @@ pub fn serve(scale: &Scale) -> Report {
     let efs = serve_efs(scale);
     let seed = scale.seed;
 
+    // Zipf-skewed traffic: resample the query set by rank-CDF draws (the
+    // same generator the cluster schedules use), so skewed rows serve a
+    // head-heavy mix of the *same* queries. Ground truth follows the
+    // resampling positionally.
+    let zipf = ArrivalSchedule::open_loop_zipf(
+        bench.queries.len() * 4,
+        1_000.0,
+        bench.queries.len(),
+        1,
+        seed,
+        scale.zipf_s,
+    );
+    let zipf_idx: Vec<usize> = zipf.requests.iter().map(|r| r.query as usize).collect();
+    let zipf_queries = bench.queries.subset(&zipf_idx);
+    let zipf_gt = GroundTruth {
+        neighbors: zipf_idx
+            .iter()
+            .map(|&i| bench.gt.neighbors[i].clone())
+            .collect(),
+        k: bench.gt.k,
+    };
+
     let mut points = Vec::new();
     for &n_shards in &scale.shard_counts {
         let index = Arc::new(ShardedIndex::build_in_memory(
@@ -110,39 +136,49 @@ pub fn serve(scale: &Scale) -> Report {
         ));
         let engine = ServeEngine::new(Arc::clone(&index), ServeConfig::default());
         for &ef in &efs {
-            // Warm-up wave so thread spin-up never lands in the measured
-            // tail, then the measured batch.
-            let _ = engine.serve_batch(&bench.queries, ef, scale.k);
-            let (results, batch) = engine.serve_batch(&bench.queries, ef, scale.k);
-            let ids: Vec<Vec<u32>> = results
-                .iter()
-                .map(|r| r.iter().map(|n| n.id).collect())
-                .collect();
-            let point = ServePoint {
-                shards: n_shards,
-                workers: batch.workers,
-                ef,
-                recall: bench.gt.recall(&ids),
-                qps: batch.qps,
-                p50_us: batch.latency.p50_us,
-                p95_us: batch.latency.p95_us,
-                p99_us: batch.latency.p99_us,
-                mean_hops: batch.mean_hops,
-                mean_coalesced_ios: batch.mean_coalesced_ios,
-                cache_hit_rate: batch.cache_hit_rate,
-            };
-            report.push_row(vec![
-                point.shards.to_string(),
-                point.workers.to_string(),
-                point.ef.to_string(),
-                fmt(point.recall),
-                fmt(point.qps),
-                fmt(point.p50_us),
-                fmt(point.p95_us),
-                fmt(point.p99_us),
-                fmt(point.mean_hops),
-            ]);
-            points.push(point);
+            // Uniform rows (skew 0: each held-out query once) and
+            // Zipf-skewed rows (the resampled head-heavy mix), same engine.
+            let waves = [
+                (0.0f32, &bench.queries, &bench.gt),
+                (scale.zipf_s as f32, &zipf_queries, &zipf_gt),
+            ];
+            for (skew, queries, gt) in waves {
+                // Warm-up wave so thread spin-up never lands in the
+                // measured tail, then the measured batch.
+                let _ = engine.serve_batch(queries, ef, scale.k);
+                let (results, batch) = engine.serve_batch(queries, ef, scale.k);
+                let ids: Vec<Vec<u32>> = results
+                    .iter()
+                    .map(|r| r.iter().map(|n| n.id).collect())
+                    .collect();
+                let point = ServePoint {
+                    shards: n_shards,
+                    workers: batch.workers,
+                    ef,
+                    skew,
+                    recall: gt.recall(&ids),
+                    qps: batch.qps,
+                    p50_us: batch.latency.p50_us,
+                    p95_us: batch.latency.p95_us,
+                    p99_us: batch.latency.p99_us,
+                    mean_hops: batch.mean_hops,
+                    mean_coalesced_ios: batch.mean_coalesced_ios,
+                    cache_hit_rate: batch.cache_hit_rate,
+                };
+                report.push_row(vec![
+                    point.shards.to_string(),
+                    point.workers.to_string(),
+                    point.ef.to_string(),
+                    fmt(point.skew),
+                    fmt(point.recall),
+                    fmt(point.qps),
+                    fmt(point.p50_us),
+                    fmt(point.p95_us),
+                    fmt(point.p99_us),
+                    fmt(point.mean_hops),
+                ]);
+                points.push(point);
+            }
         }
     }
     write_json("serve", &points);

@@ -41,6 +41,19 @@ pub struct Scale {
     pub cluster_requests: usize,
     /// Admission queue bound of the `cluster` experiment.
     pub cluster_queue_cap: usize,
+    /// Label vocabulary of the `filtered` experiment's labeled corpus
+    /// (DESIGN.md §12; labels are correlated with cluster geometry).
+    pub label_vocab: usize,
+    /// Labels swept by the `filtered` experiment. The geometric
+    /// cluster→label map makes label `j` cover ~`2^-(j+1)` of the corpus,
+    /// so this is a selectivity ladder (0 ≈ 50%, 2 ≈ 12.5%, 5 ≈ 1.6%).
+    pub filter_labels: Vec<usize>,
+    /// `ef` inflation factor of the post-filter strategy.
+    pub filter_inflation: u32,
+    /// Zipf exponent for the skewed-traffic rows of the `serve` and
+    /// `cluster` experiments (0 = uniform rows only would be pointless,
+    /// so presets pick a realistic head-heavy skew).
+    pub zipf_s: f64,
     /// RPQ training epochs / steps per epoch for experiment runs.
     pub rpq_epochs: usize,
     pub rpq_steps: usize,
@@ -66,6 +79,10 @@ impl Scale {
             cluster_load_fracs: vec![0.6, 1.2, 2.5],
             cluster_requests: 1200,
             cluster_queue_cap: 32,
+            label_vocab: 8,
+            filter_labels: vec![0, 2, 5],
+            filter_inflation: 4,
+            zipf_s: 1.1,
             rpq_epochs: 2,
             rpq_steps: 8,
             seed: 42,
@@ -95,6 +112,10 @@ impl Scale {
             cluster_load_fracs: vec![0.5, 1.0, 2.0, 4.0],
             cluster_requests: 4000,
             cluster_queue_cap: 64,
+            label_vocab: 8,
+            filter_labels: vec![0, 2, 5],
+            filter_inflation: 4,
+            zipf_s: 1.1,
             rpq_epochs: 3,
             rpq_steps: 15,
             seed: 42,
@@ -118,6 +139,10 @@ impl Scale {
             cluster_load_fracs: vec![0.5, 1.0, 2.0, 4.0],
             cluster_requests: 12_000,
             cluster_queue_cap: 128,
+            label_vocab: 8,
+            filter_labels: vec![0, 2, 5],
+            filter_inflation: 4,
+            zipf_s: 1.1,
             rpq_epochs: 4,
             rpq_steps: 25,
             seed: 42,

@@ -4,6 +4,7 @@ use rayon::prelude::*;
 use rpq_linalg::distance::sq_l2;
 
 use crate::dataset::Dataset;
+use crate::labels::{LabelPredicate, Labels};
 
 /// Exact nearest neighbors for a query set: `neighbors[q]` holds the ids of
 /// the `k` base vectors closest to query `q`, ascending by distance.
@@ -46,6 +47,77 @@ pub fn brute_force_knn(base: &Dataset, queries: &Dataset, k: usize) -> GroundTru
         .map(|qi| top_k_ids(base, queries.get(qi), k))
         .collect();
     GroundTruth { k, neighbors }
+}
+
+/// Exact top-`k` neighbors **among base vectors satisfying `pred`** — the
+/// filtered-search ground truth (DESIGN.md §12). Ids are global (base
+/// positions), so filtered index results compare directly. `k` is clamped
+/// to the predicate's matching count; panics when nothing matches.
+pub fn brute_force_knn_filtered(
+    base: &Dataset,
+    queries: &Dataset,
+    k: usize,
+    labels: &Labels,
+    pred: LabelPredicate,
+) -> GroundTruth {
+    assert!(!base.is_empty(), "ground truth needs a non-empty base set");
+    assert_eq!(base.dim(), queries.dim(), "dimension mismatch");
+    assert_eq!(labels.len(), base.len(), "labels must cover the base set");
+    let matching = labels.count_matching(pred);
+    assert!(matching > 0, "predicate matches no base vectors");
+    let k = k.min(matching);
+    let neighbors: Vec<Vec<u32>> = (0..queries.len())
+        .into_par_iter()
+        .map(|qi| {
+            top_k_ids_filtered(base, queries.get(qi), k, |v| {
+                labels.matches(v as usize, pred)
+            })
+        })
+        .collect();
+    GroundTruth { k, neighbors }
+}
+
+/// Exact top-`k` ids among base vectors accepted by `accept` (ascending
+/// distance), via the same bounded max-heap scan as [`top_k_ids`].
+pub fn top_k_ids_filtered(
+    base: &Dataset,
+    query: &[f32],
+    k: usize,
+    accept: impl Fn(u32) -> bool,
+) -> Vec<u32> {
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry(f32, u32);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+        }
+    }
+
+    let k = k.max(1);
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for (i, v) in base.iter().enumerate() {
+        if !accept(i as u32) {
+            continue;
+        }
+        let d = sq_l2(query, v);
+        if heap.len() < k {
+            heap.push(Entry(d, i as u32));
+        } else if d < heap.peek().unwrap().0 {
+            heap.pop();
+            heap.push(Entry(d, i as u32));
+        }
+    }
+    let mut sorted: Vec<Entry> = heap.into_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    sorted.into_iter().map(|e| e.1).collect()
 }
 
 /// Exact top-`k` ids for one query vector (ascending distance), via a
@@ -165,6 +237,47 @@ mod tests {
         let base = Dataset::new(1);
         let queries = line_dataset(1);
         let _ = brute_force_knn(&base, &queries, 1);
+    }
+
+    #[test]
+    fn filtered_gt_only_returns_matching_ids() {
+        let base = line_dataset(20);
+        let mut queries = Dataset::new(1);
+        queries.push(&[7.2]);
+        // Even ids get label 0, odd ids label 1.
+        let labels = Labels::from_masks(2, (0..20).map(|i| 1 << (i % 2)).collect());
+        let even = LabelPredicate::single(0);
+        let gt = brute_force_knn_filtered(&base, &queries, 3, &labels, even);
+        assert_eq!(gt.neighbors[0], vec![8, 6, 10]);
+        let odd = LabelPredicate::single(1);
+        let gt = brute_force_knn_filtered(&base, &queries, 3, &labels, odd);
+        assert_eq!(gt.neighbors[0], vec![7, 9, 5]);
+    }
+
+    #[test]
+    fn filtered_gt_clamps_k_to_matching_count() {
+        let base = line_dataset(10);
+        let mut queries = Dataset::new(1);
+        queries.push(&[0.0]);
+        let mut masks = vec![1u32; 10];
+        masks[3] = 2;
+        masks[7] = 2;
+        let labels = Labels::from_masks(2, masks);
+        let gt = brute_force_knn_filtered(&base, &queries, 5, &labels, LabelPredicate::single(1));
+        assert_eq!(gt.k, 2);
+        assert_eq!(gt.neighbors[0], vec![3, 7]);
+    }
+
+    #[test]
+    fn filtered_gt_with_all_matching_equals_unfiltered() {
+        let base = line_dataset(15);
+        let mut queries = Dataset::new(1);
+        queries.push(&[11.3]);
+        let labels = Labels::from_masks(1, vec![1; 15]);
+        let filtered =
+            brute_force_knn_filtered(&base, &queries, 4, &labels, LabelPredicate::single(0));
+        let plain = brute_force_knn(&base, &queries, 4);
+        assert_eq!(filtered.neighbors, plain.neighbors);
     }
 
     #[test]

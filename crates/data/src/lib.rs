@@ -12,15 +12,19 @@
 //! * [`lid`] — the MLE local-intrinsic-dimensionality estimator used to
 //!   validate the generators against Table 3,
 //! * [`ground_truth`] — parallel brute-force exact k-NN and recall@k
-//!   (paper Eq. 1).
+//!   (paper Eq. 1), filtered and unfiltered,
+//! * [`labels`] — per-vector label metadata over a small fixed vocabulary,
+//!   the data-side half of filtered search (DESIGN.md §12).
 
 pub mod dataset;
 pub mod ground_truth;
 pub mod io;
+pub mod labels;
 pub mod lid;
 pub mod synth;
 
 pub use dataset::Dataset;
-pub use ground_truth::{brute_force_knn, recall_at_k, GroundTruth};
+pub use ground_truth::{brute_force_knn, brute_force_knn_filtered, recall_at_k, GroundTruth};
+pub use labels::{LabelPredicate, Labels};
 pub use lid::estimate_lid;
 pub use synth::{DatasetKind, SynthConfig};

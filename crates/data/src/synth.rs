@@ -26,6 +26,7 @@ use rand::{Rng, SeedableRng};
 use rpq_linalg::distance::normalize;
 
 use crate::dataset::Dataset;
+use crate::labels::Labels;
 
 /// Which of the paper's datasets to emulate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -147,6 +148,34 @@ pub struct SynthConfig {
 impl SynthConfig {
     /// Generates `n` vectors.
     pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        self.generate_impl(n, seed, |_| {})
+    }
+
+    /// Generates `n` vectors **plus** per-vector labels correlated with the
+    /// cluster geometry — the hard, realistic filtered-search case
+    /// (DESIGN.md §12): a predicate's matching points are geometrically
+    /// clumped, so an unfiltered traversal can wander regions with no
+    /// matches at all.
+    ///
+    /// Every point gets exactly one label derived from its (already drawn)
+    /// cluster id with **no extra RNG draws**, so the returned vectors are
+    /// bit-identical to [`SynthConfig::generate`] with the same `(n, seed)`
+    /// — labelling a corpus never perturbs it. The cluster→label map is
+    /// geometric: label `j` covers ~`2^-(j+1)` of the clusters
+    /// (`j = trailing_zeros(c + 1)`, clamped to the vocabulary), giving
+    /// single-label selectivities of ~0.5, 0.25, …, down to ~`2^-vocab` —
+    /// the selectivity axis the filtered experiment sweeps without needing
+    /// per-selectivity corpora.
+    pub fn generate_labeled(&self, n: usize, seed: u64, vocab: usize) -> (Dataset, Labels) {
+        let mut labels = Labels::new(vocab);
+        let data = self.generate_impl(n, seed, |c| {
+            let label = ((c as u32 + 1).trailing_zeros() as usize).min(vocab - 1);
+            labels.push_label(label);
+        });
+        (data, labels)
+    }
+
+    fn generate_impl(&self, n: usize, seed: u64, mut on_cluster: impl FnMut(usize)) -> Dataset {
         assert!(
             self.dim > 0 && self.intrinsic_dim > 0,
             "dimensions must be positive"
@@ -188,6 +217,7 @@ impl SynthConfig {
         let mut v = vec![0.0f32; d];
         for _ in 0..n {
             let c = rng.gen_range(0..self.clusters);
+            on_cluster(c);
             v.copy_from_slice(&centres[c]);
             let basis = &bases[c];
             for dir in 0..s {
@@ -243,6 +273,57 @@ mod tests {
         assert_eq!(a, b);
         let c = cfg.generate(50, 8);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labeled_generation_is_bit_identical_to_unlabeled() {
+        let cfg = SynthConfig {
+            dim: 12,
+            intrinsic_dim: 5,
+            clusters: 16,
+            cluster_std: 0.8,
+            noise_std: 0.05,
+            transform: ValueTransform::Identity,
+        };
+        let plain = cfg.generate(300, 11);
+        let (labeled, labels) = cfg.generate_labeled(300, 11, 4);
+        assert_eq!(plain, labeled, "labelling must never perturb the vectors");
+        assert_eq!(labels.len(), 300);
+        // Same seed, same labels.
+        let (_, labels2) = cfg.generate_labeled(300, 11, 4);
+        assert_eq!(labels, labels2);
+    }
+
+    #[test]
+    fn labels_follow_the_geometric_selectivity_ladder() {
+        let cfg = SynthConfig {
+            dim: 8,
+            intrinsic_dim: 4,
+            clusters: 64,
+            cluster_std: 0.6,
+            noise_std: 0.02,
+            transform: ValueTransform::Identity,
+        };
+        let (_, labels) = cfg.generate_labeled(4000, 3, 8);
+        use crate::labels::LabelPredicate;
+        // Label j covers ~2^-(j+1) of the clusters (uniform cluster draw),
+        // so measured selectivities track the geometric ladder.
+        for (label, want) in [(0usize, 0.5f32), (1, 0.25), (2, 0.125)] {
+            let got = labels.selectivity(LabelPredicate::single(label));
+            assert!(
+                (got - want).abs() < 0.08,
+                "label {label}: selectivity {got} far from {want}"
+            );
+        }
+        // The tail label exists but is rare.
+        let tail = labels.selectivity(LabelPredicate::single(5));
+        assert!(tail > 0.0 && tail < 0.06, "tail selectivity {tail}");
+        // Points in one cluster share one label: selectivities over all
+        // single labels sum to 1 (each point has exactly one label).
+        let total: f32 = (0..8)
+            .map(|l| labels.selectivity(LabelPredicate::single(l)))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-5, "labels must partition: {total}");
     }
 
     #[test]

@@ -83,6 +83,99 @@ impl<T: DistanceEstimator + ?Sized> DistanceEstimator for Box<T> {
     }
 }
 
+/// A vertex predicate for [`beam_search_filtered`]: `accept(v)` decides
+/// whether `v` may appear in the result set. Rejected vertices are still
+/// traversed (scored, kept in the working beam, expanded), so graph
+/// connectivity survives any predicate — see [`beam_search_filtered`].
+///
+/// Every `Fn(u32) -> bool` closure is a `VertexPredicate` via the blanket
+/// impl, so ad-hoc call sites keep working; [`VertexFilter`] is the
+/// first-class composable instance the index layers share.
+pub trait VertexPredicate {
+    /// Whether vertex `v` may be returned as a result.
+    fn accept(&self, v: u32) -> bool;
+}
+
+impl<F: Fn(u32) -> bool> VertexPredicate for F {
+    #[inline]
+    fn accept(&self, v: u32) -> bool {
+        self(v)
+    }
+}
+
+/// The first-class filter composing the two predicate sources every index
+/// has: a tombstone bitmap (deleted-but-not-yet-consolidated vertices,
+/// DESIGN.md §8.2) and an arbitrary user predicate (label filters,
+/// DESIGN.md §12). Tombstones are thereby *one instance* of vertex
+/// filtering, not a special case: `VertexFilter::tombstones(t)` behaves
+/// bit-identically to the hand-rolled `|v| !t[v as usize]` closure the
+/// streaming index used to build.
+///
+/// An empty filter ([`VertexFilter::all`]) accepts everything and keeps
+/// [`beam_search_filtered`] bit-identical to [`beam_search`].
+#[derive(Clone, Copy, Default)]
+pub struct VertexFilter<'a> {
+    tombstones: Option<&'a [bool]>,
+    predicate: Option<&'a dyn Fn(u32) -> bool>,
+}
+
+impl<'a> VertexFilter<'a> {
+    /// Accepts every vertex — the unfiltered path.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Accepts vertices whose tombstone slot is `false`.
+    pub fn tombstones(tombstones: &'a [bool]) -> Self {
+        Self {
+            tombstones: Some(tombstones),
+            predicate: None,
+        }
+    }
+
+    /// Accepts vertices satisfying `predicate`.
+    pub fn predicate(predicate: &'a dyn Fn(u32) -> bool) -> Self {
+        Self {
+            tombstones: None,
+            predicate: Some(predicate),
+        }
+    }
+
+    /// This filter further restricted by a tombstone bitmap.
+    pub fn and_tombstones(mut self, tombstones: &'a [bool]) -> Self {
+        self.tombstones = Some(tombstones);
+        self
+    }
+
+    /// This filter further restricted by a user predicate.
+    pub fn and_predicate(mut self, predicate: &'a dyn Fn(u32) -> bool) -> Self {
+        self.predicate = Some(predicate);
+        self
+    }
+
+    /// True when no tombstone map and no predicate is attached — the
+    /// filter cannot reject anything, so the caller may take the
+    /// unfiltered fast path.
+    pub fn is_all(&self) -> bool {
+        self.tombstones.is_none() && self.predicate.is_none()
+    }
+}
+
+impl VertexPredicate for VertexFilter<'_> {
+    #[inline]
+    fn accept(&self, v: u32) -> bool {
+        if let Some(t) = self.tombstones {
+            if t[v as usize] {
+                return false;
+            }
+        }
+        match self.predicate {
+            Some(p) => p(v),
+            None => true,
+        }
+    }
+}
+
 /// A scored vertex.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Neighbor {
@@ -403,13 +496,19 @@ pub fn beam_search<G: GraphView>(
 /// [`beam_search`]: the accepted set then contains exactly the working
 /// beam's vertices (a vertex rejected by a full beam at visit time can never
 /// re-enter, since the beam's worst distance only decreases).
+///
+/// `accept` is any [`VertexPredicate`]: a plain closure, or the composable
+/// [`VertexFilter`] (tombstones + user predicate) the index layers share.
+/// This dual-heap variant is the *filter-during-traversal* strategy of
+/// DESIGN.md §12; the post-filter-with-ef-inflation alternative is built
+/// on [`beam_search`] at the index layer.
 pub fn beam_search_filtered<G: GraphView>(
     graph: &G,
     est: &impl DistanceEstimator,
     ef: usize,
     k: usize,
     scratch: &mut SearchScratch,
-    accept: impl Fn(u32) -> bool,
+    accept: impl VertexPredicate,
 ) -> (Vec<Neighbor>, SearchStats) {
     let ef = ef.max(k).max(1);
     let mut stats = SearchStats::default();
@@ -433,7 +532,7 @@ pub fn beam_search_filtered<G: GraphView>(
     let mut accepted: BinaryHeap<Scored> = BinaryHeap::with_capacity(ef + 1);
     candidates.push(Reverse(Scored(d0, entry)));
     working.push(Scored(d0, entry));
-    if accept(entry) {
+    if accept.accept(entry) {
         accepted.push(Scored(d0, entry));
     }
 
@@ -470,7 +569,7 @@ pub fn beam_search_filtered<G: GraphView>(
                     working.pop();
                 }
             }
-            if accept(u) {
+            if accept.accept(u) {
                 let worst_a = accepted.peek().map(|s| s.0).unwrap_or(f32::INFINITY);
                 if accepted.len() < ef || du < worst_a {
                     accepted.push(Scored(du, u));
@@ -692,6 +791,85 @@ mod tests {
             ids.contains(&29) && ids.contains(&31),
             "search must pass through the rejected vertex to both sides: {ids:?}"
         );
+    }
+
+    #[test]
+    fn vertex_filter_all_is_bit_identical_to_unfiltered() {
+        let (ds, g) = line_world(60);
+        for target in [3.0f32, 41.5, 58.0] {
+            let q = [target];
+            let est = ExactEstimator::new(&ds, &q);
+            let mut s1 = SearchScratch::new();
+            let mut s2 = SearchScratch::new();
+            let (plain, st1) = beam_search(&g, &est, 8, 5, &mut s1);
+            assert!(VertexFilter::all().is_all());
+            let (filt, st2) = beam_search_filtered(&g, &est, 8, 5, &mut s2, VertexFilter::all());
+            assert_eq!(st1, st2);
+            assert_eq!(
+                plain
+                    .iter()
+                    .map(|n| (n.id, n.dist.to_bits()))
+                    .collect::<Vec<_>>(),
+                filt.iter()
+                    .map(|n| (n.id, n.dist.to_bits()))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn vertex_filter_tombstones_match_the_hand_rolled_closure() {
+        // The refactor's pin: VertexFilter::tombstones must be bit-identical
+        // to the `|v| !tombstones[v]` closure the streaming index hand-rolled
+        // before tombstones became one instance of the filter layer.
+        let (ds, g) = line_world(50);
+        let mut tomb = vec![false; 50];
+        for v in [28usize, 30, 31, 44] {
+            tomb[v] = true;
+        }
+        for target in [30.0f32, 45.0] {
+            let q = [target];
+            let est = ExactEstimator::new(&ds, &q);
+            let mut s1 = SearchScratch::new();
+            let mut s2 = SearchScratch::new();
+            let (a, st_a) =
+                beam_search_filtered(&g, &est, 8, 5, &mut s1, |v: u32| !tomb[v as usize]);
+            let (b, st_b) =
+                beam_search_filtered(&g, &est, 8, 5, &mut s2, VertexFilter::tombstones(&tomb));
+            assert_eq!(st_a, st_b);
+            assert_eq!(
+                a.iter()
+                    .map(|n| (n.id, n.dist.to_bits()))
+                    .collect::<Vec<_>>(),
+                b.iter()
+                    .map(|n| (n.id, n.dist.to_bits()))
+                    .collect::<Vec<_>>()
+            );
+            assert!(b.iter().all(|n| !tomb[n.id as usize]));
+        }
+    }
+
+    #[test]
+    fn vertex_filter_composes_tombstones_and_predicate() {
+        let (ds, g) = line_world(40);
+        let mut tomb = vec![false; 40];
+        tomb[20] = true;
+        let even = |v: u32| v.is_multiple_of(2);
+        let q = [20.0f32];
+        let est = ExactEstimator::new(&ds, &q);
+        let mut scratch = SearchScratch::new();
+        let filter = VertexFilter::tombstones(&tomb).and_predicate(&even);
+        assert!(!filter.is_all());
+        let (res, _) = beam_search_filtered(&g, &est, 10, 5, &mut scratch, filter);
+        assert!(!res.is_empty());
+        for n in &res {
+            assert!(n.id % 2 == 0, "predicate violated: {}", n.id);
+            assert!(!tomb[n.id as usize], "tombstone violated: {}", n.id);
+        }
+        // 20 is the nearest vertex but tombstoned; 22 and 18 are the
+        // nearest even live vertices and must both be found through it.
+        let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+        assert!(ids.contains(&18) && ids.contains(&22), "{ids:?}");
     }
 
     #[test]

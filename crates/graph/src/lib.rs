@@ -32,7 +32,7 @@ pub mod vamana;
 
 pub use beam::{
     beam_search, beam_search_filtered, beam_search_recording, DistanceEstimator, ExactEstimator,
-    Frontier, Neighbor, SearchScratch, SearchStats,
+    Frontier, Neighbor, SearchScratch, SearchStats, VertexFilter, VertexPredicate,
 };
 pub use dynamic::DynamicGraph;
 pub use hnsw::HnswConfig;

@@ -380,3 +380,132 @@ fn sharded_search_is_thread_invariant() {
     assert_eq!(ids.len(), queries.len());
     assert!(ids.iter().all(|l| !l.is_empty()));
 }
+
+#[test]
+fn filtered_sharded_search_is_thread_invariant() {
+    // The predicate layer inherits the thread-invariance guarantee: the
+    // filtered fan-out + merge must produce bit-identical ids and
+    // distances at every pool width, for both filter strategies.
+    use rpq_anns::FilterStrategy;
+    use rpq_data::{LabelPredicate, Labels};
+
+    let data = ci_data(440, 19);
+    let (base, queries) = data.split_at(400);
+    let labels = Labels::from_masks(4, (0..base.len()).map(|i| 1u32 << (i % 4)).collect());
+    let pq = ProductQuantizer::train(
+        &PqConfig {
+            m: 4,
+            k: 16,
+            ..Default::default()
+        },
+        &base,
+    );
+    let index = ShardedIndex::build_in_memory_labeled(&pq, &base, &labels, 3, |part| {
+        HnswConfig {
+            m: 8,
+            ef_construction: 40,
+            seed: 0,
+        }
+        .build(part)
+    });
+    for strategy in [
+        FilterStrategy::DuringTraversal,
+        FilterStrategy::PostFilter { inflation: 3 },
+    ] {
+        let ids = assert_thread_invariant("filtered sharded per-query top-k", || {
+            use rayon::prelude::*;
+            (0..queries.len())
+                .into_par_iter()
+                .map_init(SearchScratch::new, |scratch, qi| {
+                    let pred = LabelPredicate::single(qi % 4);
+                    let (res, _) =
+                        index.search_filtered(queries.get(qi), pred, strategy, 40, 10, scratch);
+                    res.iter()
+                        .map(|n| (n.id, n.dist.to_bits()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<Vec<_>>>()
+        });
+        assert_eq!(ids.len(), queries.len());
+        assert!(ids.iter().all(|l| !l.is_empty()));
+    }
+}
+
+#[test]
+fn zipf_filtered_cluster_serving_is_thread_invariant() {
+    // Zipf-skewed query selection plus predicate-carrying requests through
+    // the replicated cluster on the virtual clock: outcomes (top-k ids,
+    // distance bits, latencies, reject reasons) must be bit-identical at
+    // every pool width — the guarantee that licenses the skew rows in the
+    // cluster experiment's JSON.
+    use rpq_anns::serve::FilteredQuery;
+    use rpq_anns::FilterStrategy;
+    use rpq_data::{LabelPredicate, Labels};
+
+    let data = ci_data(360, 29);
+    let (base, queries) = data.split_at(320);
+    let labels = Labels::from_masks(4, (0..base.len()).map(|i| 1u32 << (i % 4)).collect());
+
+    let outcomes = assert_thread_invariant("zipf filtered cluster open-loop", || {
+        let pq = ProductQuantizer::train(
+            &PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+            &base,
+        );
+        let cluster = ClusterIndex::build_in_memory_labeled(
+            &pq,
+            &base,
+            &labels,
+            2,
+            2,
+            LoadBalancePolicy::QueueAware,
+            |part| {
+                HnswConfig {
+                    m: 8,
+                    ef_construction: 40,
+                    seed: 0,
+                }
+                .build(part)
+            },
+        );
+        let engine = ClusterEngine::new(
+            cluster,
+            AdmissionConfig {
+                queue_cap: 8,
+                ..Default::default()
+            },
+            CostModel::default(),
+        );
+        let schedule = ArrivalSchedule::open_loop_zipf(160, 4_000.0, queries.len(), 2, 53, 1.1)
+            .with_filters(&[
+                FilteredQuery {
+                    pred: LabelPredicate::single(0),
+                    strategy: FilterStrategy::DuringTraversal,
+                },
+                FilteredQuery {
+                    pred: LabelPredicate::single(1),
+                    strategy: FilterStrategy::PostFilter { inflation: 3 },
+                },
+            ]);
+        let (outcomes, _) = engine.serve_open_loop(&queries, &schedule, 40, 10);
+        outcomes
+            .iter()
+            .map(|o| match o {
+                RequestOutcome::Completed {
+                    neighbors,
+                    latency_us,
+                } => (
+                    true,
+                    neighbors.iter().map(|n| (n.id, n.dist.to_bits())).collect(),
+                    latency_us.to_bits(),
+                ),
+                RequestOutcome::Rejected { .. } => (false, Vec::new(), 0),
+            })
+            .collect::<Vec<(bool, Vec<(u32, u32)>, u32)>>()
+    });
+    assert_eq!(outcomes.len(), 160);
+    assert!(outcomes.iter().any(|(done, ..)| *done));
+}

@@ -143,3 +143,63 @@ fn one_scratch_survives_build_growth_and_consolidation() {
     let (top, _) = index.search(queries.get(0), 60, 10, &mut scratch);
     assert_eq!(top.len(), 10);
 }
+
+/// The predicate-layer refactor's integration pin: the unfiltered search
+/// (whose tombstone masking now rides the same `VertexFilter` as user
+/// predicates) must be **bit-identical** to a filtered search whose
+/// predicate accepts every point, at every stage of a churn cycle —
+/// inserts, tombstones, and a consolidation. If threading the predicate
+/// through perturbed the tombstone path in any way, ids or distance bits
+/// would diverge here.
+#[test]
+fn tombstone_path_is_bit_identical_to_an_all_accepting_predicate() {
+    use rpq_anns::FilterStrategy;
+    use rpq_data::{LabelPredicate, Labels};
+
+    let (base, queries) = DatasetKind::Sift.generate(700, 30, 9);
+    let (seed_set, reserve) = base.split_at(500);
+    let pq = ProductQuantizer::train(
+        &PqConfig {
+            m: 8,
+            k: 32,
+            ..Default::default()
+        },
+        &seed_set,
+    );
+    // Every point carries label 0, so `single(0)` accepts everything and
+    // the composed filter reduces to the tombstone check alone.
+    let labels = Labels::from_masks(32, vec![1u32; seed_set.len()]);
+    let mut index =
+        StreamingIndex::build_labeled(pq, &seed_set, labels, StreamingConfig::default());
+    let mut scratch = SearchScratch::new();
+
+    let assert_stage = |index: &StreamingIndex<ProductQuantizer>,
+                        scratch: &mut SearchScratch,
+                        stage: &str| {
+        for qi in 0..queries.len() {
+            let (plain, _) = index.search(queries.get(qi), 60, 10, scratch);
+            let (filtered, _) = index.search_filtered(
+                queries.get(qi),
+                LabelPredicate::single(0),
+                FilterStrategy::DuringTraversal,
+                60,
+                10,
+                scratch,
+            );
+            let a: Vec<(u32, u32)> = plain.iter().map(|n| (n.id, n.dist.to_bits())).collect();
+            let b: Vec<(u32, u32)> = filtered.iter().map(|n| (n.id, n.dist.to_bits())).collect();
+            assert_eq!(a, b, "tombstone path diverged after {stage} (query {qi})");
+        }
+    };
+
+    assert_stage(&index, &mut scratch, "batch build");
+    for i in 0..reserve.len() {
+        index.insert_labeled(reserve.get(i), 1, &mut scratch);
+        if i % 3 == 0 {
+            index.remove(((i * 11) % index.len()) as u32);
+        }
+    }
+    assert_stage(&index, &mut scratch, "insert/tombstone churn");
+    index.consolidate(true).expect("churn left tombstones");
+    assert_stage(&index, &mut scratch, "consolidation");
+}
